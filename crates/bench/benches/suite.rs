@@ -1,0 +1,34 @@
+//! Wall-clock benchmarks (Criterion): each suite program under each
+//! pipeline configuration. Programs are compiled once; the measured unit
+//! is a fresh machine executing the program.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sxr::{Compiler, PipelineConfig};
+use sxr_bench::BENCHMARKS;
+
+fn bench_suite(c: &mut Criterion) {
+    for b in BENCHMARKS {
+        let mut group = c.benchmark_group(b.name);
+        group.sample_size(10);
+        for (label, cfg) in [
+            ("traditional", PipelineConfig::traditional()),
+            ("abstract-opt", PipelineConfig::abstract_optimized()),
+            ("abstract-noopt", PipelineConfig::abstract_unoptimized()),
+        ] {
+            let compiled = Compiler::new(cfg)
+                .compile(b.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            group.bench_function(label, |bench| {
+                bench.iter(|| {
+                    let mut m = compiled.machine().expect("loads");
+                    let w = m.run().expect("runs");
+                    std::hint::black_box(w)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_suite);
+criterion_main!(benches);

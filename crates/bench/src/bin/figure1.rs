@@ -1,0 +1,30 @@
+//! Figure 1 — what the optimizer buys: per-benchmark speedup of
+//! AbstractOpt over AbstractNoOpt (dynamic instructions), as a text bar
+//! series.
+//!
+//! Regenerate with: `cargo run -p sxr-bench --bin figure1`
+
+use sxr::{Compiler, PipelineConfig};
+use sxr_bench::BENCHMARKS;
+
+fn main() {
+    println!("Figure 1: speedup of AbstractOpt over AbstractNoOpt (dynamic instructions)");
+    println!();
+    for b in BENCHMARKS {
+        let a = Compiler::new(PipelineConfig::abstract_optimized())
+            .compile(b.source)
+            .unwrap()
+            .run()
+            .unwrap();
+        let n = Compiler::new(PipelineConfig::abstract_unoptimized())
+            .compile(b.source)
+            .unwrap()
+            .run()
+            .unwrap();
+        let speedup = n.counters.total as f64 / a.counters.total as f64;
+        let bar = "#".repeat((speedup * 4.0).round() as usize);
+        println!("{:<8} {:>6.2}x |{bar}", b.name, speedup);
+    }
+    println!();
+    println!("(each # is 0.25x)");
+}

@@ -1,0 +1,53 @@
+//! Figure 2 — the cost of first-classness: instructions per field access
+//! when the representation type is a compile-time constant (specialized)
+//! versus a run-time value (generic dispatch), as record size sweeps.
+//!
+//! Regenerate with: `cargo run -p sxr-bench --bin figure2`
+
+use sxr::{Compiler, PipelineConfig};
+
+const ITERS: usize = 2000;
+
+/// Builds a program that sums all `n` fields of a record `ITERS` times.
+/// `generic` routes the rep type through a mutated global so the optimizer
+/// cannot treat it as a constant.
+fn program(n: usize, generic: bool) -> String {
+    let rep_expr = if generic { "dyn-rep" } else { "sweep-rep" };
+    let mut sum = String::from("0");
+    for i in 0..n {
+        sum = format!(
+            "(fx+ {sum} (%rep-inject fixnum-rep (%rep-ref {rep_expr} r (%rep-project fixnum-rep {i}))))"
+        );
+    }
+    format!(
+        "(define sweep-rep (%make-pointer-type 'sweep 4 #t))
+         (define dyn-rep sweep-rep)
+         (set! dyn-rep sweep-rep) ; second assignment defeats constant folding
+         (define r (%rep-alloc sweep-rep (%rep-project fixnum-rep {n}) 7))
+         (%counters-reset!)
+         (let loop ((k {ITERS}) (acc 0))
+           (if (fx= k 0) acc (loop (fx- k 1) (fx+ acc {sum}))))"
+    )
+}
+
+fn main() {
+    println!("Figure 2: instructions per field access, record size sweep");
+    println!();
+    println!("{:<6} {:>12} {:>10} {:>8}", "fields", "specialized", "generic", "ratio");
+    println!("{}", "-".repeat(40));
+    for n in [1usize, 2, 4, 8, 16, 32] {
+        let run = |generic: bool| {
+            let out = Compiler::new(PipelineConfig::abstract_optimized())
+                .compile(&program(n, generic))
+                .unwrap()
+                .run()
+                .unwrap();
+            out.counters.total as f64 / (ITERS * n) as f64
+        };
+        let spec = run(false);
+        let gen = run(true);
+        println!("{:<6} {:>12.2} {:>10.2} {:>8.2}", n, spec, gen, gen / spec);
+    }
+    println!();
+    println!("(per-access cost includes the loop's share; both series share it equally)");
+}

@@ -1,0 +1,36 @@
+//! Table 1 — static instruction counts of each primitive operation's
+//! compiled body (including the final return), per configuration.
+//!
+//! Regenerate with: `cargo run -p sxr-bench --bin table1`
+
+use sxr::report::table1_rows;
+
+fn main() {
+    let rows = table1_rows().expect("all configurations compile");
+    println!("Table 1: static instruction counts per primitive (body incl. return)");
+    println!();
+    println!("{:<16} {:>12} {:>12} {:>6} {:>14} {:>6}", "primitive", "Traditional", "AbstractOpt", "Δ", "AbstractNoOpt", "×");
+    println!("{}", "-".repeat(72));
+    let (mut eq, mut within1) = (0, 0);
+    for r in &rows {
+        let delta = r.abstract_opt as i64 - r.traditional as i64;
+        let blowup = r.abstract_noopt as f64 / r.traditional as f64;
+        if delta == 0 {
+            eq += 1;
+        }
+        if delta.abs() <= 1 {
+            within1 += 1;
+        }
+        println!(
+            "{:<16} {:>12} {:>12} {:>+6} {:>14} {:>6.1}",
+            r.name, r.traditional, r.abstract_opt, delta, r.abstract_noopt, blowup
+        );
+    }
+    println!("{}", "-".repeat(72));
+    println!(
+        "{} of {} primitives identical; {} within one instruction",
+        eq,
+        rows.len(),
+        within1
+    );
+}

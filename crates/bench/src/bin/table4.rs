@@ -1,0 +1,42 @@
+//! Table 4 (extension) — "safety is library policy": dynamic instruction
+//! cost of the *checked* abstract primitive layer (library-level type and
+//! bounds checks, prims_abstract_checked.scm) relative to the unchecked
+//! one, under the same optimizer.
+//!
+//! Regenerate with: `cargo run -p sxr-bench --bin table4`
+
+use sxr::{Compiler, PipelineConfig, LIBRARY_SCM, PRIMS_ABSTRACT_CHECKED_SCM, REPS_SCM};
+use sxr_bench::BENCHMARKS;
+
+fn main() {
+    println!("Table 4: cost of library-level safety (checked / unchecked, AbstractOpt)");
+    println!();
+    println!("{:<8} {:>12} {:>12} {:>7}", "bench", "unchecked", "checked", "ratio");
+    println!("{}", "-".repeat(44));
+    let mut prod = 1.0f64;
+    for b in BENCHMARKS {
+        let unchecked = Compiler::new(PipelineConfig::abstract_optimized())
+            .compile(b.source)
+            .unwrap()
+            .run()
+            .unwrap();
+        let checked = Compiler::new(PipelineConfig::abstract_optimized())
+            .compile_with_prelude(
+                &[REPS_SCM, PRIMS_ABSTRACT_CHECKED_SCM, LIBRARY_SCM],
+                b.source,
+            )
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(unchecked.value, b.expect, "{} oracle", b.name);
+        assert_eq!(checked.value, b.expect, "{} oracle (checked)", b.name);
+        let ratio = checked.counters.total as f64 / unchecked.counters.total as f64;
+        prod *= ratio;
+        println!(
+            "{:<8} {:>12} {:>12} {:>7.2}",
+            b.name, unchecked.counters.total, checked.counters.total, ratio
+        );
+    }
+    println!("{}", "-".repeat(44));
+    println!("geomean ratio: {:.2}", prod.powf(1.0 / BENCHMARKS.len() as f64));
+}

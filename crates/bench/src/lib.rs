@@ -1,0 +1,176 @@
+//! The benchmark suite: classic Scheme kernels of the era (Gabriel-style),
+//! exercising exactly the primitive operations whose generated code the
+//! paper is about. Shared by the integration tests, the table binaries,
+//! and the Criterion wall-time benches.
+
+/// One benchmark program.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// Short name used in tables.
+    pub name: &'static str,
+    /// What it stresses.
+    pub stresses: &'static str,
+    /// Scheme source. Each program calls `(%counters-reset!)` after setup
+    /// so dynamic counts measure the kernel, then leaves a checksum as its
+    /// value.
+    pub source: &'static str,
+    /// Expected final value (differential oracle).
+    pub expect: &'static str,
+}
+
+/// All benchmarks, in report order.
+pub const BENCHMARKS: &[Benchmark] = &[
+    Benchmark {
+        name: "fib",
+        stresses: "fixnum arith, non-tail calls",
+        source: "
+          (define (fib n) (if (fx< n 2) n (fx+ (fib (fx- n 1)) (fib (fx- n 2)))))
+          (%counters-reset!)
+          (fib 22)",
+        expect: "17711",
+    },
+    Benchmark {
+        name: "tak",
+        stresses: "fixnum compare, deep calls",
+        source: "
+          (define (tak x y z)
+            (if (not (fx< y x))
+                z
+                (tak (tak (fx- x 1) y z)
+                     (tak (fx- y 1) z x)
+                     (tak (fx- z 1) x y))))
+          (%counters-reset!)
+          (tak 18 12 6)",
+        expect: "7",
+    },
+    Benchmark {
+        name: "sieve",
+        stresses: "vectors, loops",
+        source: "
+          (define (sieve n)
+            (let ((v (make-vector n #t)))
+              (let loop ((i 2) (count 0))
+                (cond ((fx< n i) count)
+                      ((fx= i n) count)
+                      ((vector-ref v i)
+                       (begin
+                         (let mark ((j (fx* i i)))
+                           (when (fx< j n)
+                             (vector-set! v j #f)
+                             (mark (fx+ j i))))
+                         (loop (fx+ i 1) (fx+ count 1))))
+                      (else (loop (fx+ i 1) count))))))
+          (%counters-reset!)
+          (sieve 1000)",
+        expect: "168",
+    },
+    Benchmark {
+        name: "nrev",
+        stresses: "pairs, allocation, GC",
+        source: "
+          (define (nrev-iter k acc)
+            (if (fx= k 0) acc (nrev-iter (fx- k 1) (length (reverse acc)))))
+          (define base (iota 400))
+          (%counters-reset!)
+          (let loop ((k 60) (sum 0))
+            (if (fx= k 0)
+                sum
+                (loop (fx- k 1) (fx+ sum (length (reverse base))))))",
+        expect: "24000",
+    },
+    Benchmark {
+        name: "vsum",
+        stresses: "vector-ref in a tight loop",
+        source: "
+          (define v (list->vector (iota 10000)))
+          (%counters-reset!)
+          (let loop ((i 0) (sum 0))
+            (if (fx= i 10000) sum (loop (fx+ i 1) (fx+ sum (vector-ref v i)))))",
+        expect: "49995000",
+    },
+    Benchmark {
+        name: "strhash",
+        stresses: "string-ref, char->integer",
+        source: "
+          (define s \"the quick brown fox jumps over the lazy dog\")
+          (%counters-reset!)
+          (let loop ((k 0) (h 0))
+            (if (fx= k 500) h (loop (fx+ k 1) (fxremainder (fx+ h (string-hash s)) 1000003))))",
+        expect: "286570",
+    },
+    Benchmark {
+        name: "assq",
+        stresses: "symbol identity, list walking",
+        source: "
+          (define table
+            (map (lambda (i) (cons i (fx* i i))) (iota 64)))
+          (%counters-reset!)
+          (let loop ((k 0) (sum 0))
+            (if (fx= k 2000)
+                sum
+                (loop (fx+ k 1)
+                      (fx+ sum (cdr (assq (fxremainder k 64) table))))))",
+        expect: "2646904",
+    },
+    Benchmark {
+        name: "deriv",
+        stresses: "quoted structure, dispatch",
+        source: "
+          (define (deriv e x)
+            (cond ((symbol? e) (if (eq? e x) 1 0))
+                  ((fixnum? e) 0)
+                  ((eq? (car e) '+)
+                   (list3 '+ (deriv (cadr e) x) (deriv (caddr e) x))
+                  )
+                  ((eq? (car e) '*)
+                   (list3 '+
+                          (list3 '* (cadr e) (deriv (caddr e) x))
+                          (list3 '* (caddr e) (deriv (cadr e) x))))
+                  (else (error 'deriv))))
+          (define expr '(+ (* x x) (* 3 (+ x (* x x)))))
+          (%counters-reset!)
+          (let loop ((k 0) (n 0))
+            (if (fx= k 300)
+                n
+                (loop (fx+ k 1) (fx+ n (length (deriv expr 'x))))))",
+        expect: "900",
+    },
+    Benchmark {
+        name: "queens",
+        stresses: "branching, lists, recursion",
+        source: "
+          (define (ok? row dist placed)
+            (if (null? placed)
+                #t
+                (and (not (fx= (car placed) (fx+ row dist)))
+                     (not (fx= (car placed) (fx- row dist)))
+                     (ok? row (fx+ dist 1) (cdr placed)))))
+          (define (try x y z)
+            (if (null? x)
+                (if (null? y) 1 0)
+                (fx+ (if (ok? (car x) 1 z)
+                         (try (append (cdr x) y) '() (cons (car x) z))
+                         0)
+                     (try (cdr x) (cons (car x) y) z))))
+          (define (queens n) (try (iota n) '() '()))
+          (%counters-reset!)
+          (queens 8)",
+        expect: "92",
+    },
+    Benchmark {
+        name: "boxes",
+        stresses: "mutable state via the library's boxes",
+        source: "
+          (define (make-acc) (let ((t 0)) (lambda (d) (set! t (fx+ t d)) t)))
+          (define acc (make-acc))
+          (%counters-reset!)
+          (let loop ((i 0) (last 0))
+            (if (fx= i 20000) last (loop (fx+ i 1) (acc 1))))",
+        expect: "20000",
+    },
+];
+
+/// Looks a benchmark up by name.
+pub fn benchmark(name: &str) -> Option<&'static Benchmark> {
+    BENCHMARKS.iter().find(|b| b.name == name)
+}

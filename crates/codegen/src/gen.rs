@@ -1,0 +1,774 @@
+//! Instruction selection: closure-converted ANF → VM code.
+//!
+//! Notable selections (all available to *both* pipelines — they encode
+//! machine knowledge, not data-representation knowledge):
+//!
+//! * displacement/indexed addressing folds tag subtraction into loads and
+//!   stores,
+//! * single-use comparisons feeding a branch fuse into compare-and-branch,
+//! * immediate operand forms for constants that fit.
+//!
+//! The code generator also computes each function's **pointer map** for the
+//! precise collector: a register is marked "raw" when the value it holds is
+//! statically known never to be a heap pointer (results of word arithmetic,
+//! projections, type tests). Raw registers are skipped by the GC.
+
+use std::collections::HashMap;
+use sxr_ir::anf::{Atom, Bound, Expr, Fun, Literal, Module, Test, VarId};
+use sxr_ir::prim::PrimOp;
+use sxr_ir::rep::{roles, RepKind, RepRegistry};
+use sxr_vm::{BinOp, CmpOp, CodeFun, CodeProgram, Inst, PoolEntry, Reg, RegImm, RepVmOp};
+
+/// A code-generation failure (missing role, register overflow, or an IR
+/// shape the backend cannot accept).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodegenError(pub String);
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codegen error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// Whether a register can ever hold a heap pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// Never a pointer (word arithmetic results, projections, raw
+    /// constants); skipped by the collector.
+    Raw,
+    /// A tagged Scheme value; scanned by the collector.
+    Tagged,
+}
+
+/// Generates a loadable program from a validated module.
+///
+/// # Errors
+///
+/// Returns [`CodegenError`] when a literal requires a representation role
+/// the library did not provide, when intrinsics were not lowered, or when a
+/// function exceeds the register budget.
+pub fn generate(module: &Module, registry: &RepRegistry) -> Result<CodeProgram, CodegenError> {
+    let mut shared = Shared {
+        registry,
+        pool: Vec::new(),
+        pool_index: HashMap::new(),
+        false_word: encode_role_imm(registry, roles::BOOLEAN, 0)?,
+        unspec_word: encode_role_imm(registry, roles::UNSPECIFIED, 0)?,
+        closure_tag: ptr_tag(registry, roles::CLOSURE)?,
+    };
+    let mut funs = Vec::with_capacity(module.funs.len());
+    for f in &module.funs {
+        funs.push(FnGen::emit(f, &mut shared)?);
+    }
+    Ok(CodeProgram {
+        funs,
+        main: module.main,
+        pool: shared.pool,
+        nglobals: module.global_names.len(),
+        global_names: module.global_names.clone(),
+        registry: registry.clone(),
+    })
+}
+
+/// Removes `Jump` instructions whose target is the next instruction
+/// (artifacts of straight-line value bodies) and remaps branch targets.
+fn drop_fallthrough_jumps(insts: Vec<Inst>) -> Vec<Inst> {
+    let dead: Vec<bool> = insts
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| matches!(inst, Inst::Jump { t } if *t as usize == i + 1))
+        .collect();
+    if !dead.iter().any(|&d| d) {
+        return insts;
+    }
+    // new_index[i] = position of instruction i after removal.
+    let mut new_index = Vec::with_capacity(insts.len() + 1);
+    let mut n = 0u32;
+    for d in &dead {
+        new_index.push(n);
+        if !d {
+            n += 1;
+        }
+    }
+    new_index.push(n);
+    insts
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !dead[*i])
+        .map(|(_, mut inst)| {
+            match &mut inst {
+                Inst::Jump { t } | Inst::JumpCmp { t, .. } => *t = new_index[*t as usize],
+                _ => {}
+            }
+            inst
+        })
+        .collect()
+}
+
+fn encode_role_imm(reg: &RepRegistry, role: &str, payload: i64) -> Result<i64, CodegenError> {
+    let id = reg
+        .role(role)
+        .ok_or_else(|| CodegenError(format!("library provided no `{role}` representation")))?;
+    match reg.info(id).kind {
+        RepKind::Immediate { .. } => Ok(reg.encode_immediate(id, payload)),
+        RepKind::Pointer { .. } => {
+            Err(CodegenError(format!("role `{role}` must be an immediate representation")))
+        }
+    }
+}
+
+fn ptr_tag(reg: &RepRegistry, role: &str) -> Result<i64, CodegenError> {
+    let id = reg
+        .role(role)
+        .ok_or_else(|| CodegenError(format!("library provided no `{role}` representation")))?;
+    match reg.info(id).kind {
+        RepKind::Pointer { tag, .. } => Ok(tag as i64),
+        RepKind::Immediate { .. } => {
+            Err(CodegenError(format!("role `{role}` must be a pointer representation")))
+        }
+    }
+}
+
+#[derive(Debug, Clone, Hash, PartialEq, Eq)]
+enum PoolKey {
+    Datum(sxr_sexp::Datum),
+    Rep(u32),
+}
+
+struct Shared<'a> {
+    registry: &'a RepRegistry,
+    pool: Vec<PoolEntry>,
+    pool_index: HashMap<PoolKey, u32>,
+    false_word: i64,
+    unspec_word: i64,
+    closure_tag: i64,
+}
+
+impl Shared<'_> {
+    fn pool_slot(&mut self, key: PoolKey) -> u32 {
+        if let Some(&i) = self.pool_index.get(&key) {
+            return i;
+        }
+        let i = self.pool.len() as u32;
+        self.pool.push(match &key {
+            PoolKey::Datum(d) => PoolEntry::Datum(d.clone()),
+            PoolKey::Rep(r) => PoolEntry::Rep(*r),
+        });
+        self.pool_index.insert(key, i);
+        i
+    }
+
+    /// Encodes a literal as either an inline immediate or a pool slot.
+    fn literal(&mut self, lit: &Literal) -> Result<Enc, CodegenError> {
+        use sxr_sexp::Datum;
+        Ok(match lit {
+            Literal::Raw(w) => Enc::Imm(*w, Kind::Raw),
+            Literal::Unspecified => Enc::Imm(self.unspec_word, Kind::Tagged),
+            Literal::Rep(r) => Enc::Pool(self.pool_slot(PoolKey::Rep(*r))),
+            Literal::Datum(d) => match d {
+                Datum::Fixnum(n) => {
+                    Enc::Imm(encode_role_imm(self.registry, roles::FIXNUM, *n)?, Kind::Tagged)
+                }
+                Datum::Bool(b) => Enc::Imm(
+                    encode_role_imm(self.registry, roles::BOOLEAN, *b as i64)?,
+                    Kind::Tagged,
+                ),
+                Datum::Char(c) => Enc::Imm(
+                    encode_role_imm(self.registry, roles::CHAR, *c as i64)?,
+                    Kind::Tagged,
+                ),
+                Datum::List(items) if items.is_empty() => {
+                    Enc::Imm(encode_role_imm(self.registry, roles::NULL, 0)?, Kind::Tagged)
+                }
+                other => Enc::Pool(self.pool_slot(PoolKey::Datum(other.clone()))),
+            },
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Enc {
+    Imm(i64, Kind),
+    Pool(u32),
+}
+
+struct FnGen<'a, 'b> {
+    shared: &'a mut Shared<'b>,
+    regs: HashMap<VarId, Reg>,
+    kinds: Vec<Kind>, // per register
+    insts: Vec<Inst>,
+    patches: Vec<(usize, u32)>, // (inst index, label)
+    labels: Vec<Option<u32>>,
+    uses: HashMap<VarId, usize>,
+}
+
+/// Where a sub-expression delivers its value.
+enum Ctx {
+    /// Function tail: `Ret` / tail calls allowed.
+    Tail,
+    /// Value branch of a `Bound::If`: `Ret a` means "move a to `dst`, jump
+    /// to `join`".
+    Yield { dst: Reg, join: u32 },
+}
+
+impl<'a, 'b> FnGen<'a, 'b> {
+    fn emit(f: &Fun, shared: &'a mut Shared<'b>) -> Result<CodeFun, CodegenError> {
+        let mut g = FnGen {
+            shared,
+            regs: HashMap::new(),
+            kinds: Vec::new(),
+            insts: Vec::new(),
+            patches: Vec::new(),
+            labels: Vec::new(),
+            uses: HashMap::new(),
+        };
+        f.body.use_counts(&mut g.uses);
+        let r0 = g.fresh_reg(Kind::Tagged)?;
+        debug_assert_eq!(r0, 0);
+        g.regs.insert(f.self_var, 0);
+        for p in f.params.iter().chain(f.rest.iter()) {
+            let r = g.fresh_reg(Kind::Tagged)?;
+            g.regs.insert(*p, r);
+        }
+        g.emit_expr(&f.body, &mut Ctx::Tail)?;
+        // Patch labels.
+        for (at, label) in std::mem::take(&mut g.patches) {
+            let target = g.labels[label as usize]
+                .ok_or_else(|| CodegenError(format!("unbound label {label}")))?;
+            match &mut g.insts[at] {
+                Inst::Jump { t } | Inst::JumpCmp { t, .. } => *t = target,
+                other => return Err(CodegenError(format!("patch of non-branch {other:?}"))),
+            }
+        }
+        g.insts = drop_fallthrough_jumps(g.insts);
+        Ok(CodeFun {
+            name: f.name.clone().unwrap_or_else(|| "anonymous".to_string()),
+            arity: f.params.len(),
+            variadic: f.rest.is_some(),
+            nregs: g.kinds.len(),
+            free_count: f.free_count,
+            insts: g.insts,
+            ptr_map: g.kinds.iter().map(|k| *k == Kind::Tagged).collect(),
+        })
+    }
+
+    fn fresh_reg(&mut self, kind: Kind) -> Result<Reg, CodegenError> {
+        let r = self.kinds.len();
+        if r > u16::MAX as usize {
+            return Err(CodegenError("function needs more than 65536 registers".to_string()));
+        }
+        self.kinds.push(kind);
+        Ok(r as Reg)
+    }
+
+    fn new_label(&mut self) -> u32 {
+        self.labels.push(None);
+        (self.labels.len() - 1) as u32
+    }
+
+    fn bind_label(&mut self, l: u32) {
+        self.labels[l as usize] = Some(self.insts.len() as u32);
+    }
+
+    fn jump(&mut self, l: u32) {
+        self.patches.push((self.insts.len(), l));
+        self.insts.push(Inst::Jump { t: 0 });
+    }
+
+    fn jump_cmp(&mut self, op: CmpOp, a: Reg, b: RegImm, l: u32) {
+        self.patches.push((self.insts.len(), l));
+        self.insts.push(Inst::JumpCmp { op, a, b, t: 0 });
+    }
+
+    fn var_reg(&self, v: VarId) -> Result<Reg, CodegenError> {
+        self.regs
+            .get(&v)
+            .copied()
+            .ok_or_else(|| CodegenError(format!("use of unallocated variable v{v}")))
+    }
+
+    fn kind_of_atom(&mut self, a: &Atom) -> Result<Kind, CodegenError> {
+        Ok(match a {
+            Atom::Var(v) => self.kinds[self.var_reg(*v)? as usize],
+            Atom::Lit(l) => match self.shared.literal(l)? {
+                Enc::Imm(_, k) => k,
+                Enc::Pool(_) => Kind::Tagged,
+            },
+        })
+    }
+
+    /// Materializes an atom into a register.
+    fn atom_reg(&mut self, a: &Atom) -> Result<Reg, CodegenError> {
+        match a {
+            Atom::Var(v) => self.var_reg(*v),
+            Atom::Lit(l) => {
+                let enc = self.shared.literal(l)?;
+                match enc {
+                    Enc::Imm(w, k) => {
+                        let r = self.fresh_reg(k)?;
+                        self.insts.push(Inst::Const { d: r, imm: w });
+                        Ok(r)
+                    }
+                    Enc::Pool(idx) => {
+                        let r = self.fresh_reg(Kind::Tagged)?;
+                        self.insts.push(Inst::Pool { d: r, idx });
+                        Ok(r)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns an immediate encoding of the atom if it fits i32.
+    fn atom_imm(&mut self, a: &Atom) -> Result<Option<i32>, CodegenError> {
+        if let Atom::Lit(l) = a {
+            if let Enc::Imm(w, _) = self.shared.literal(l)? {
+                return Ok(i32::try_from(w).ok());
+            }
+        }
+        Ok(None)
+    }
+
+    fn atom_regs(&mut self, atoms: &[Atom]) -> Result<Vec<Reg>, CodegenError> {
+        atoms.iter().map(|a| self.atom_reg(a)).collect()
+    }
+
+    fn used_once(&self, v: VarId) -> bool {
+        self.uses.get(&v).copied().unwrap_or(0) == 1
+    }
+
+    fn emit_expr(&mut self, e: &Expr, ctx: &mut Ctx) -> Result<(), CodegenError> {
+        match e {
+            Expr::Let(v, b, body) => {
+                // Compare-and-branch fusion: a single-use comparison feeding
+                // the immediately following raw test.
+                if let Bound::Prim(op @ (PrimOp::WordEq | PrimOp::WordLt | PrimOp::PtrEq), args) =
+                    b
+                {
+                    if self.used_once(*v) {
+                        match &**body {
+                            Expr::If(Test::NonZero(Atom::Var(w)), t, els) if w == v => {
+                                return self.emit_fused_if(*op, args, t, els, None, ctx);
+                            }
+                            Expr::Let(v2, Bound::If(Test::NonZero(Atom::Var(w)), t, els), rest)
+                                if w == v =>
+                            {
+                                return self.emit_fused_if(
+                                    *op,
+                                    args,
+                                    t,
+                                    els,
+                                    Some((*v2, rest)),
+                                    ctx,
+                                );
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                self.emit_bound(*v, b)?;
+                self.emit_expr(body, ctx)
+            }
+            Expr::If(test, t, els) => {
+                let else_l = self.new_label();
+                self.branch_unless(test, else_l)?;
+                self.emit_expr(t, ctx)?;
+                self.bind_label(else_l);
+                self.emit_expr(els, ctx)
+            }
+            Expr::Ret(a) => match ctx {
+                Ctx::Tail => {
+                    let r = self.atom_reg(a)?;
+                    self.insts.push(Inst::Ret { s: r });
+                    Ok(())
+                }
+                Ctx::Yield { dst, join } => {
+                    let (dst, join) = (*dst, *join);
+                    // Move/encode directly into the destination register.
+                    match a {
+                        Atom::Var(v) => {
+                            let s = self.var_reg(*v)?;
+                            let k = self.kinds[s as usize];
+                            self.join_kind(dst, k);
+                            if s != dst {
+                                self.insts.push(Inst::Move { d: dst, s });
+                            }
+                        }
+                        Atom::Lit(l) => {
+                            let enc = self.shared.literal(l)?;
+                            match enc {
+                                Enc::Imm(w, k) => {
+                                    self.join_kind(dst, k);
+                                    self.insts.push(Inst::Const { d: dst, imm: w });
+                                }
+                                Enc::Pool(idx) => {
+                                    self.join_kind(dst, Kind::Tagged);
+                                    self.insts.push(Inst::Pool { d: dst, idx });
+                                }
+                            }
+                        }
+                    }
+                    self.jump(join);
+                    Ok(())
+                }
+            },
+            Expr::TailCall(f, args) => {
+                if !matches!(ctx, Ctx::Tail) {
+                    return Err(CodegenError("tail call in value branch".to_string()));
+                }
+                let fr = self.atom_reg(f)?;
+                let argr = self.atom_regs(args)?;
+                self.insts.push(Inst::TailCall { f: fr, args: argr });
+                Ok(())
+            }
+            Expr::TailCallKnown(fid, clo, args) => {
+                if !matches!(ctx, Ctx::Tail) {
+                    return Err(CodegenError("tail call in value branch".to_string()));
+                }
+                let cr = self.atom_reg(clo)?;
+                let argr = self.atom_regs(args)?;
+                self.insts.push(Inst::TailCallKnown { f: *fid, clo: cr, args: argr });
+                Ok(())
+            }
+            Expr::LetRec(..) => {
+                Err(CodegenError("letrec reached the code generator".to_string()))
+            }
+        }
+    }
+
+    /// Joins a yield kind into the destination register's kind: pointer-ness
+    /// wins (a register is scanned if *any* path may store a pointer there).
+    /// Mixing is only safe because non-pointer words under every registered
+    /// immediate representation remain valid tagged words; a raw word that
+    /// could alias a pointer pattern must never flow into a tagged join —
+    /// the library upholds this by construction and the differential tests
+    /// exercise it.
+    fn join_kind(&mut self, dst: Reg, k: Kind) {
+        if k == Kind::Tagged {
+            self.kinds[dst as usize] = Kind::Tagged;
+        }
+    }
+
+    fn branch_unless(&mut self, test: &Test, else_l: u32) -> Result<(), CodegenError> {
+        match test {
+            Test::Truthy(a) => {
+                let r = self.atom_reg(a)?;
+                let fw = self.shared.false_word;
+                match i32::try_from(fw) {
+                    Ok(imm) => self.jump_cmp(CmpOp::Eq, r, RegImm::Imm(imm), else_l),
+                    Err(_) => {
+                        let t = self.fresh_reg(Kind::Tagged)?;
+                        self.insts.push(Inst::Const { d: t, imm: fw });
+                        self.jump_cmp(CmpOp::Eq, r, RegImm::Reg(t), else_l);
+                    }
+                }
+                Ok(())
+            }
+            Test::NonZero(a) => {
+                let r = self.atom_reg(a)?;
+                self.jump_cmp(CmpOp::Eq, r, RegImm::Imm(0), else_l);
+                Ok(())
+            }
+        }
+    }
+
+    /// Emits `if (a cmp b) then else` with the comparison fused into the
+    /// branch. `bound` is `Some((v, rest))` for a value-producing if.
+    fn emit_fused_if(
+        &mut self,
+        op: PrimOp,
+        args: &[Atom],
+        t: &Expr,
+        els: &Expr,
+        bound: Option<(VarId, &Expr)>,
+        ctx: &mut Ctx,
+    ) -> Result<(), CodegenError> {
+        let a = self.atom_reg(&args[0])?;
+        let b = match self.atom_imm(&args[1])? {
+            Some(imm) => RegImm::Imm(imm),
+            None => RegImm::Reg(self.atom_reg(&args[1])?),
+        };
+        // Branch to else when the comparison is false.
+        let cmp = match op {
+            PrimOp::WordEq | PrimOp::PtrEq => CmpOp::Ne,
+            PrimOp::WordLt => CmpOp::Ge,
+            _ => unreachable!("fusion only on comparisons"),
+        };
+        let else_l = self.new_label();
+        match bound {
+            None => {
+                self.jump_cmp(cmp, a, b, else_l);
+                self.emit_expr(t, ctx)?;
+                self.bind_label(else_l);
+                self.emit_expr(els, ctx)
+            }
+            Some((v, rest)) => {
+                let dst = self.fresh_reg(Kind::Raw)?; // corrected by join_kind
+                self.regs.insert(v, dst);
+                let join = self.new_label();
+                self.jump_cmp(cmp, a, b, else_l);
+                self.emit_expr(t, &mut Ctx::Yield { dst, join })?;
+                self.bind_label(else_l);
+                self.emit_expr(els, &mut Ctx::Yield { dst, join })?;
+                self.bind_label(join);
+                self.emit_expr(rest, ctx)
+            }
+        }
+    }
+
+    fn define(&mut self, v: VarId, kind: Kind) -> Result<Reg, CodegenError> {
+        let r = self.fresh_reg(kind)?;
+        self.regs.insert(v, r);
+        Ok(r)
+    }
+
+    fn emit_bound(&mut self, v: VarId, b: &Bound) -> Result<(), CodegenError> {
+        match b {
+            Bound::Atom(a) => {
+                let k = self.kind_of_atom(a)?;
+                match a {
+                    Atom::Var(src) => {
+                        let s = self.var_reg(*src)?;
+                        let d = self.define(v, k)?;
+                        self.insts.push(Inst::Move { d, s });
+                    }
+                    Atom::Lit(l) => {
+                        let enc = self.shared.literal(l)?;
+                        let d = self.define(v, k)?;
+                        match enc {
+                            Enc::Imm(w, _) => self.insts.push(Inst::Const { d, imm: w }),
+                            Enc::Pool(idx) => self.insts.push(Inst::Pool { d, idx }),
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Bound::Prim(op, args) => self.emit_prim(v, *op, args),
+            Bound::Call(f, args) => {
+                let fr = self.atom_reg(f)?;
+                let argr = self.atom_regs(args)?;
+                let d = self.define(v, Kind::Tagged)?;
+                self.insts.push(Inst::Call { d, f: fr, args: argr });
+                Ok(())
+            }
+            Bound::CallKnown(fid, clo, args) => {
+                let cr = self.atom_reg(clo)?;
+                let argr = self.atom_regs(args)?;
+                let d = self.define(v, Kind::Tagged)?;
+                self.insts.push(Inst::CallKnown { d, f: *fid, clo: cr, args: argr });
+                Ok(())
+            }
+            Bound::GlobalGet(g) => {
+                let d = self.define(v, Kind::Tagged)?;
+                self.insts.push(Inst::GlobalGet { d, g: *g });
+                Ok(())
+            }
+            Bound::GlobalSet(g, a) => {
+                let s = self.atom_reg(a)?;
+                self.insts.push(Inst::GlobalSet { g: *g, s });
+                self.bind_unspec_if_used(v)
+            }
+            Bound::Lambda(_) => {
+                Err(CodegenError("nested lambda reached the code generator".to_string()))
+            }
+            Bound::MakeClosure(fid, frees) => {
+                let freer = self.atom_regs(frees)?;
+                let d = self.define(v, Kind::Tagged)?;
+                self.insts.push(Inst::MakeClosure { d, f: *fid, free: freer });
+                Ok(())
+            }
+            Bound::ClosureRef(i) => {
+                let d = self.define(v, Kind::Tagged)?;
+                let disp = (8 * (*i as i64 + 2) - self.shared.closure_tag) as i32;
+                self.insts.push(Inst::LoadD { d, p: 0, disp });
+                Ok(())
+            }
+            Bound::ClosurePatch(c, i, x) => {
+                let cr = self.atom_reg(c)?;
+                let xr = self.atom_reg(x)?;
+                self.insts.push(Inst::ClosureSet { clo: cr, idx: *i as u32, val: xr });
+                self.bind_unspec_if_used(v)
+            }
+            Bound::If(test, t, els) => {
+                // Value-producing if.
+                let dst = self.fresh_reg(Kind::Raw)?; // join_kind corrects
+                self.regs.insert(v, dst);
+                let else_l = self.new_label();
+                let join = self.new_label();
+                self.branch_unless(test, else_l)?;
+                self.emit_expr(t, &mut Ctx::Yield { dst, join })?;
+                self.bind_label(else_l);
+                self.emit_expr(els, &mut Ctx::Yield { dst, join })?;
+                self.bind_label(join);
+                Ok(())
+            }
+            Bound::Body(e) => {
+                let dst = self.fresh_reg(Kind::Raw)?; // join_kind corrects
+                self.regs.insert(v, dst);
+                let join = self.new_label();
+                self.emit_expr(e, &mut Ctx::Yield { dst, join })?;
+                self.bind_label(join);
+                Ok(())
+            }
+        }
+    }
+
+    /// Binds `v`'s register to the unspecified value, but only when the
+    /// variable is actually read (effect-only prims usually are not).
+    fn bind_unspec_if_used(&mut self, v: VarId) -> Result<(), CodegenError> {
+        if self.uses.get(&v).copied().unwrap_or(0) > 0 {
+            let w = self.shared.unspec_word;
+            let d = self.define(v, Kind::Tagged)?;
+            self.insts.push(Inst::Const { d, imm: w });
+        } else {
+            let d = self.define(v, Kind::Tagged)?;
+            let _ = d; // register reserved but never written; init value is safe
+        }
+        Ok(())
+    }
+
+    fn emit_prim(&mut self, v: VarId, op: PrimOp, args: &[Atom]) -> Result<(), CodegenError> {
+        use PrimOp::*;
+        let bin = |o: BinOp| o;
+        match op {
+            WordAdd | WordSub | WordMul | WordQuot | WordRem | WordAnd | WordOr | WordXor
+            | WordShl | WordShr | WordEq | WordLt | PtrEq => {
+                let o = match op {
+                    WordAdd => bin(BinOp::Add),
+                    WordSub => bin(BinOp::Sub),
+                    WordMul => bin(BinOp::Mul),
+                    WordQuot => bin(BinOp::Quot),
+                    WordRem => bin(BinOp::Rem),
+                    WordAnd => bin(BinOp::And),
+                    WordOr => bin(BinOp::Or),
+                    WordXor => bin(BinOp::Xor),
+                    WordShl => bin(BinOp::Shl),
+                    WordShr => bin(BinOp::Shr),
+                    WordEq | PtrEq => bin(BinOp::CmpEq),
+                    WordLt => bin(BinOp::CmpLt),
+                    _ => unreachable!(),
+                };
+                let a = self.atom_reg(&args[0])?;
+                let imm = self.atom_imm(&args[1])?;
+                let d = self.define(v, Kind::Raw)?;
+                match imm {
+                    Some(i) => self.insts.push(Inst::BinI { op: o, d, a, imm: i }),
+                    None => {
+                        let b = self.atom_reg(&args[1])?;
+                        self.insts.push(Inst::Bin { op: o, d, a, b });
+                    }
+                }
+                Ok(())
+            }
+            SpecHeader(rid) => {
+                let tag = self.spec_tag(rid)?;
+                let p = self.atom_reg(&args[0])?;
+                let d = self.define(v, Kind::Raw)?;
+                self.insts.push(Inst::LoadD { d, p, disp: -tag });
+                Ok(())
+            }
+            SpecAlloc(rid) => {
+                let len = match self.atom_imm(&args[0])? {
+                    Some(i) => RegImm::Imm(i),
+                    None => RegImm::Reg(self.atom_reg(&args[0])?),
+                };
+                let fill = self.atom_reg(&args[1])?;
+                let d = self.define(v, Kind::Tagged)?;
+                self.insts.push(Inst::AllocFill { d, len, fill, rep: rid });
+                Ok(())
+            }
+            SpecRef(rid) => {
+                let tag = self.spec_tag(rid)?;
+                let p = self.atom_reg(&args[0])?;
+                let off = self.atom_imm(&args[1])?;
+                let d = self.define(v, Kind::Tagged)?;
+                match off {
+                    Some(byteoff) => {
+                        self.insts.push(Inst::LoadD { d, p, disp: byteoff + 8 - tag })
+                    }
+                    None => {
+                        let x = self.atom_reg(&args[1])?;
+                        self.insts.push(Inst::LoadX { d, p, x, disp: 8 - tag });
+                    }
+                }
+                Ok(())
+            }
+            SpecSet(rid) => {
+                let tag = self.spec_tag(rid)?;
+                let p = self.atom_reg(&args[0])?;
+                let off = self.atom_imm(&args[1])?;
+                let s = self.atom_reg(&args[2])?;
+                match off {
+                    Some(byteoff) => {
+                        self.insts.push(Inst::StoreD { p, disp: byteoff + 8 - tag, s })
+                    }
+                    None => {
+                        let x = self.atom_reg(&args[1])?;
+                        self.insts.push(Inst::StoreX { p, x, disp: 8 - tag, s });
+                    }
+                }
+                self.bind_unspec_if_used(v)
+            }
+            MakeImmType | MakePtrType | ProvideRep | RepInject | RepProject | RepTest
+            | RepAlloc | RepRef | RepSet | RepLen => {
+                let o = match op {
+                    MakeImmType => RepVmOp::MakeImm,
+                    MakePtrType => RepVmOp::MakePtr,
+                    ProvideRep => RepVmOp::Provide,
+                    RepInject => RepVmOp::Inject,
+                    RepProject => RepVmOp::Project,
+                    RepTest => RepVmOp::Test,
+                    RepAlloc => RepVmOp::Alloc,
+                    RepRef => RepVmOp::Ref,
+                    RepSet => RepVmOp::Set,
+                    RepLen => RepVmOp::Len,
+                    _ => unreachable!(),
+                };
+                let argr = self.atom_regs(args)?;
+                let kind = match op {
+                    RepProject | RepTest | RepLen => Kind::Raw,
+                    _ => Kind::Tagged,
+                };
+                let d = self.define(v, kind)?;
+                self.insts.push(Inst::Rep { op: o, d, args: argr });
+                Ok(())
+            }
+            Intern => {
+                let s = self.atom_reg(&args[0])?;
+                let d = self.define(v, Kind::Tagged)?;
+                self.insts.push(Inst::Intern { d, s });
+                Ok(())
+            }
+            WriteChar => {
+                let s = self.atom_reg(&args[0])?;
+                self.insts.push(Inst::WriteChar { s });
+                self.bind_unspec_if_used(v)
+            }
+            Error => {
+                let s = self.atom_reg(&args[0])?;
+                self.insts.push(Inst::ErrorOp { s });
+                self.bind_unspec_if_used(v)
+            }
+            CounterReset => {
+                self.insts.push(Inst::ResetCounters);
+                self.bind_unspec_if_used(v)
+            }
+            Intrinsic(i) => Err(CodegenError(format!(
+                "intrinsic %{} must be lowered before code generation",
+                i.name()
+            ))),
+        }
+    }
+
+    fn spec_tag(&self, rid: u32) -> Result<i32, CodegenError> {
+        match self.shared.registry.info(rid).kind {
+            RepKind::Pointer { tag, .. } => Ok(tag as i32),
+            RepKind::Immediate { .. } => Err(CodegenError(format!(
+                "specialized memory op on immediate representation `{}`",
+                self.shared.registry.info(rid).name
+            ))),
+        }
+    }
+}

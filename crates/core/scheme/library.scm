@@ -1,0 +1,311 @@
+;;; library.scm --- the portable library, shared verbatim by both pipelines.
+;;;
+;;; Everything here is written against the primitive layer only; it neither
+;;; knows nor cares whether that layer is abstract (rep types) or
+;;; traditional (intrinsics).
+
+;; -- booleans and predicates -------------------------------------------------
+(define (not x) (if x #f #t))
+(define (eqv? a b) (eq? a b))        ; fixnums/chars are immediates here
+(define (zero? n) (fx= n 0))
+(define (positive? n) (fx< 0 n))
+(define (negative? n) (fx< n 0))
+(define (fx> a b) (fx< b a))
+(define (fx<= a b) (not (fx< b a)))
+(define (fx>= a b) (not (fx< a b)))
+(define (fxmax a b) (if (fx< a b) b a))
+(define (fxmin a b) (if (fx< a b) a b))
+(define (fxabs n) (if (fx< n 0) (fx- 0 n) n))
+(define (add1 n) (fx+ n 1))
+(define (sub1 n) (fx- n 1))
+(define (even? n) (fx= (fxremainder n 2) 0))
+(define (odd? n) (not (even? n)))
+
+;; -- lists --------------------------------------------------------------------
+(define (caar p) (car (car p)))
+(define (cadr p) (car (cdr p)))
+(define (cdar p) (cdr (car p)))
+(define (cddr p) (cdr (cdr p)))
+(define (caddr p) (car (cddr p)))
+(define (cdddr p) (cdr (cddr p)))
+
+(define (list1 a) (cons a '()))
+(define (list2 a b) (cons a (list1 b)))
+(define (list3 a b c) (cons a (list2 b c)))
+(define (list4 a b c d) (cons a (list3 b c d)))
+(define (list5 a b c d e) (cons a (list4 b c d e)))
+
+(define (length xs)
+  (let loop ((xs xs) (n 0))
+    (if (null? xs) n (loop (cdr xs) (fx+ n 1)))))
+
+(define (append a b)
+  (if (null? a) b (cons (car a) (append (cdr a) b))))
+
+(define (reverse xs)
+  (let loop ((xs xs) (acc '()))
+    (if (null? xs) acc (loop (cdr xs) (cons (car xs) acc)))))
+
+(define (list-tail xs k)
+  (if (fx= k 0) xs (list-tail (cdr xs) (fx- k 1))))
+
+(define (list-ref xs k) (car (list-tail xs k)))
+
+(define (last-pair xs)
+  (if (null? (cdr xs)) xs (last-pair (cdr xs))))
+
+(define (list? xs)
+  (cond ((null? xs) #t)
+        ((pair? xs) (list? (cdr xs)))
+        (else #f)))
+
+(define (memq x xs)
+  (cond ((null? xs) #f)
+        ((eq? x (car xs)) xs)
+        (else (memq x (cdr xs)))))
+(define (memv x xs) (memq x xs))
+(define (member x xs)
+  (cond ((null? xs) #f)
+        ((equal? x (car xs)) xs)
+        (else (member x (cdr xs)))))
+
+(define (assq x alist)
+  (cond ((null? alist) #f)
+        ((eq? x (caar alist)) (car alist))
+        (else (assq x (cdr alist)))))
+(define (assv x alist) (assq x alist))
+(define (assoc x alist)
+  (cond ((null? alist) #f)
+        ((equal? x (caar alist)) (car alist))
+        (else (assoc x (cdr alist)))))
+
+(define (map f xs)
+  (if (null? xs) '() (cons (f (car xs)) (map f (cdr xs)))))
+(define (map2 f xs ys)
+  (if (null? xs) '() (cons (f (car xs) (car ys)) (map2 f (cdr xs) (cdr ys)))))
+(define (for-each f xs)
+  (if (null? xs) (if #f #f) (begin (f (car xs)) (for-each f (cdr xs)))))
+(define (filter keep? xs)
+  (cond ((null? xs) '())
+        ((keep? (car xs)) (cons (car xs) (filter keep? (cdr xs))))
+        (else (filter keep? (cdr xs)))))
+(define (fold-left f acc xs)
+  (if (null? xs) acc (fold-left f (f acc (car xs)) (cdr xs))))
+(define (fold-right f acc xs)
+  (if (null? xs) acc (f (car xs) (fold-right f acc (cdr xs)))))
+(define (iota n)
+  (let loop ((i (fx- n 1)) (acc '()))
+    (if (fx< i 0) acc (loop (fx- i 1) (cons i acc)))))
+
+;; -- structural equality -------------------------------------------------------
+(define (equal? a b)
+  (cond ((eq? a b) #t)
+        ((pair? a)
+         (and (pair? b) (equal? (car a) (car b)) (equal? (cdr a) (cdr b))))
+        ((string? a) (and (string? b) (string=? a b)))
+        ((vector? a)
+         (and (vector? b)
+              (fx= (vector-length a) (vector-length b))
+              (let loop ((i 0))
+                (cond ((fx= i (vector-length a)) #t)
+                      ((equal? (vector-ref a i) (vector-ref b i)) (loop (fx+ i 1)))
+                      (else #f)))))
+        (else #f)))
+
+;; -- characters ----------------------------------------------------------------
+(define (char=? a b) (fx= (char->integer a) (char->integer b)))
+(define (char<? a b) (fx< (char->integer a) (char->integer b)))
+(define (char-numeric? c) (and (char<? #\0 c) (char<? c #\9)))
+
+;; -- strings ---------------------------------------------------------------------
+(define (string=? a b)
+  (let ((n (string-length a)))
+    (and (fx= n (string-length b))
+         (let loop ((i 0))
+           (cond ((fx= i n) #t)
+                 ((char=? (string-ref a i) (string-ref b i)) (loop (fx+ i 1)))
+                 (else #f))))))
+
+(define (substring s start end)
+  (let ((out (make-string (fx- end start) #\space)))
+    (let loop ((i start))
+      (if (fx< i end)
+          (begin (string-set! out (fx- i start) (string-ref s i))
+                 (loop (fx+ i 1)))
+          out))))
+
+(define (string-append a b)
+  (let ((na (string-length a)) (nb (string-length b)))
+    (let ((out (make-string (fx+ na nb) #\space)))
+      (let loop ((i 0))
+        (when (fx< i na)
+          (string-set! out i (string-ref a i))
+          (loop (fx+ i 1))))
+      (let loop ((i 0))
+        (when (fx< i nb)
+          (string-set! out (fx+ na i) (string-ref b i))
+          (loop (fx+ i 1))))
+      out)))
+
+(define (string->list s)
+  (let loop ((i (fx- (string-length s) 1)) (acc '()))
+    (if (fx< i 0) acc (loop (fx- i 1) (cons (string-ref s i) acc)))))
+
+(define (list->string cs)
+  (let ((out (make-string (length cs) #\space)))
+    (let loop ((cs cs) (i 0))
+      (if (null? cs)
+          out
+          (begin (string-set! out i (car cs)) (loop (cdr cs) (fx+ i 1)))))))
+
+(define (string-hash s)
+  (let ((n (string-length s)))
+    (let loop ((i 0) (h 0))
+      (if (fx= i n)
+          h
+          (loop (fx+ i 1)
+                (fxremainder (fx+ (fx* h 31) (char->integer (string-ref s i)))
+                             16777213))))))
+
+;; -- vectors -----------------------------------------------------------------------
+(define (vector->list v)
+  (let loop ((i (fx- (vector-length v) 1)) (acc '()))
+    (if (fx< i 0) acc (loop (fx- i 1) (cons (vector-ref v i) acc)))))
+
+(define (list->vector xs)
+  (let ((out (make-vector (length xs) 0)))
+    (let loop ((xs xs) (i 0))
+      (if (null? xs)
+          out
+          (begin (vector-set! out i (car xs)) (loop (cdr xs) (fx+ i 1)))))))
+
+(define (vector-fill! v x)
+  (let ((n (vector-length v)))
+    (let loop ((i 0))
+      (when (fx< i n)
+        (vector-set! v i x)
+        (loop (fx+ i 1))))))
+
+(define (vector-map f v)
+  (let ((n (vector-length v)))
+    (let ((out (make-vector n 0)))
+      (let loop ((i 0))
+        (if (fx= i n)
+            out
+            (begin (vector-set! out i (f (vector-ref v i)))
+                   (loop (fx+ i 1))))))))
+
+;; -- numeric printing -----------------------------------------------------------------
+(define (number->string n)
+  (if (fx= n 0)
+      "0"
+      (let ((neg (fx< n 0)))
+        (let loop ((m (if neg n (fx- 0 n))) (acc '()))
+          ;; Work with negative magnitudes so the most-negative fixnum works.
+          (if (fx= m 0)
+              (list->string (if neg (cons #\- acc) acc))
+              (loop (fxquotient m 10)
+                    (cons (integer->char (fx+ 48 (fx- 0 (fxremainder m 10)))) acc)))))))
+
+;; -- output -------------------------------------------------------------------------
+(define (write-string s)
+  (let ((n (string-length s)))
+    (let loop ((i 0))
+      (when (fx< i n)
+        (write-char (string-ref s i))
+        (loop (fx+ i 1))))))
+
+(define (newline) (write-char #\newline))
+
+(define (display x)
+  (cond ((fixnum? x) (write-string (number->string x)))
+        ((string? x) (write-string x))
+        ((char? x) (write-char x))
+        ((symbol? x) (write-string (symbol->string x)))
+        ((null? x) (write-string "()"))
+        ((eq? x #t) (write-string "#t"))
+        ((eq? x #f) (write-string "#f"))
+        ((pair? x) (display-list x))
+        ((vector? x) (display-vector x))
+        ((procedure? x) (write-string "#<procedure>"))
+        ((eof-object? x) (write-string "#<eof>"))
+        (else (write-string "#<unknown>"))))
+
+(define (display-list xs)
+  (write-char #\()
+  (let loop ((xs xs) (first #t))
+    (cond ((null? xs) (write-char #\)))
+          ((pair? xs)
+           (begin (unless first (write-char #\space))
+                  (display (car xs))
+                  (loop (cdr xs) #f)))
+          (else (begin (write-string " . ") (display xs) (write-char #\))))))
+  (if #f #f))
+
+(define (display-vector v)
+  (write-string "#(")
+  (let ((n (vector-length v)))
+    (let loop ((i 0))
+      (when (fx< i n)
+        (unless (fx= i 0) (write-char #\space))
+        (display (vector-ref v i))
+        (loop (fx+ i 1)))))
+  (write-char #\)))
+
+(define (write x)
+  (cond ((string? x)
+         (begin (write-char #\")
+                (write-string x)
+                (write-char #\")))
+        ((char? x) (begin (write-string "#\\") (write-char x)))
+        ((pair? x) (write-list x))
+        (else (display x))))
+
+(define (write-list xs)
+  (write-char #\()
+  (let loop ((xs xs) (first #t))
+    (cond ((null? xs) (write-char #\)))
+          ((pair? xs)
+           (begin (unless first (write-char #\space))
+                  (write (car xs))
+                  (loop (cdr xs) #f)))
+          (else (begin (write-string " . ") (write xs) (write-char #\))))))
+  (if #f #f))
+
+;; -- variadic conveniences ------------------------------------------------------
+;; The runtime delivers rest arguments as a library list (built through the
+;; `pair`/`null` representations), so `list` is just the identity on them.
+(define (list . xs) xs)
+
+(define (+ . xs) (fold-left fx+ 0 xs))
+(define (* . xs) (fold-left fx* 1 xs))
+(define (- a . xs)
+  (if (null? xs) (fx- 0 a) (fold-left fx- a xs)))
+(define (max a . xs) (fold-left fxmax a xs))
+(define (min a . xs) (fold-left fxmin a xs))
+(define (< a b) (fx< a b))
+(define (> a b) (fx> a b))
+(define (= a b) (fx= a b))
+(define (<= a b) (fx<= a b))
+(define (>= a b) (fx>= a b))
+
+;; `apply` spreads a list of arguments into a call. Without compiler
+;; support for dynamic arities this is library code with a documented
+;; bound of 8 spread arguments (plenty for the classic workloads).
+(define (apply f args)
+  (let ((n (length args)))
+    (cond ((fx= n 0) (f))
+          ((fx= n 1) (f (car args)))
+          ((fx= n 2) (f (car args) (cadr args)))
+          ((fx= n 3) (f (car args) (cadr args) (caddr args)))
+          ((fx= n 4) (f (car args) (cadr args) (caddr args) (list-ref args 3)))
+          ((fx= n 5) (f (car args) (cadr args) (caddr args) (list-ref args 3)
+                        (list-ref args 4)))
+          ((fx= n 6) (f (car args) (cadr args) (caddr args) (list-ref args 3)
+                        (list-ref args 4) (list-ref args 5)))
+          ((fx= n 7) (f (car args) (cadr args) (caddr args) (list-ref args 3)
+                        (list-ref args 4) (list-ref args 5) (list-ref args 6)))
+          ((fx= n 8) (f (car args) (cadr args) (caddr args) (list-ref args 3)
+                        (list-ref args 4) (list-ref args 5) (list-ref args 6)
+                        (list-ref args 7)))
+          (else (error 'apply-supports-at-most-8-arguments)))))

@@ -1,0 +1,86 @@
+;;; prims_abstract.scm --- every "primitive" as plain procedural code.
+;;;
+;;; Nothing here is special to the compiler: these are ordinary definitions
+;;; in terms of the generic representation facility.  They are written in
+;;; the most naively abstract style (always project, operate raw, inject)
+;;; precisely so the burden of making them fast falls on the general
+;;; optimizer, as the paper claims it can.
+
+;; -- fixnums ---------------------------------------------------------------
+(define (fixnum? x) (%rep-inject boolean-rep (%rep-test fixnum-rep x)))
+(define (fx+ a b)
+  (%rep-inject fixnum-rep
+               (%word+ (%rep-project fixnum-rep a) (%rep-project fixnum-rep b))))
+(define (fx- a b)
+  (%rep-inject fixnum-rep
+               (%word- (%rep-project fixnum-rep a) (%rep-project fixnum-rep b))))
+(define (fx* a b)
+  (%rep-inject fixnum-rep
+               (%word* (%rep-project fixnum-rep a) (%rep-project fixnum-rep b))))
+(define (fxquotient a b)
+  (%rep-inject fixnum-rep
+               (%word-quotient (%rep-project fixnum-rep a) (%rep-project fixnum-rep b))))
+(define (fxremainder a b)
+  (%rep-inject fixnum-rep
+               (%word-remainder (%rep-project fixnum-rep a) (%rep-project fixnum-rep b))))
+(define (fx< a b)
+  (%rep-inject boolean-rep
+               (%word<? (%rep-project fixnum-rep a) (%rep-project fixnum-rep b))))
+(define (fx= a b)
+  (%rep-inject boolean-rep
+               (%word=? (%rep-project fixnum-rep a) (%rep-project fixnum-rep b))))
+
+;; -- identity --------------------------------------------------------------
+(define (eq? a b) (%rep-inject boolean-rep (%eq? a b)))
+
+;; -- pairs -----------------------------------------------------------------
+(define (cons a d)
+  (let ((p (%rep-alloc pair-rep (%rep-project fixnum-rep 2) a)))
+    (%rep-set! pair-rep p (%rep-project fixnum-rep 1) d)
+    p))
+(define (car p) (%rep-ref pair-rep p (%rep-project fixnum-rep 0)))
+(define (cdr p) (%rep-ref pair-rep p (%rep-project fixnum-rep 1)))
+(define (set-car! p v) (%rep-set! pair-rep p (%rep-project fixnum-rep 0) v))
+(define (set-cdr! p v) (%rep-set! pair-rep p (%rep-project fixnum-rep 1) v))
+(define (pair? x) (%rep-inject boolean-rep (%rep-test pair-rep x)))
+(define (null? x) (%rep-inject boolean-rep (%rep-test null-rep x)))
+
+;; -- vectors ---------------------------------------------------------------
+(define (make-vector n fill) (%rep-alloc vector-rep (%rep-project fixnum-rep n) fill))
+(define (vector-ref v i) (%rep-ref vector-rep v (%rep-project fixnum-rep i)))
+(define (vector-set! v i x) (%rep-set! vector-rep v (%rep-project fixnum-rep i) x))
+(define (vector-length v) (%rep-inject fixnum-rep (%rep-length vector-rep v)))
+(define (vector? x) (%rep-inject boolean-rep (%rep-test vector-rep x)))
+
+;; -- strings (character fields) ---------------------------------------------
+(define (make-string n fill) (%rep-alloc string-rep (%rep-project fixnum-rep n) fill))
+(define (string-ref s i) (%rep-ref string-rep s (%rep-project fixnum-rep i)))
+(define (string-set! s i c) (%rep-set! string-rep s (%rep-project fixnum-rep i) c))
+(define (string-length s) (%rep-inject fixnum-rep (%rep-length string-rep s)))
+(define (string? x) (%rep-inject boolean-rep (%rep-test string-rep x)))
+
+;; -- characters --------------------------------------------------------------
+(define (char->integer c) (%rep-inject fixnum-rep (%rep-project char-rep c)))
+(define (integer->char n) (%rep-inject char-rep (%rep-project fixnum-rep n)))
+(define (char? x) (%rep-inject boolean-rep (%rep-test char-rep x)))
+
+;; -- other type tests --------------------------------------------------------
+(define (boolean? x) (%rep-inject boolean-rep (%rep-test boolean-rep x)))
+(define (symbol? x) (%rep-inject boolean-rep (%rep-test symbol-rep x)))
+(define (procedure? x) (%rep-inject boolean-rep (%rep-test closure-rep x)))
+(define (eof-object? x) (%rep-inject boolean-rep (%rep-test eof-rep x)))
+(define (eof-object) (%rep-inject eof-rep 0))
+
+;; -- symbols -----------------------------------------------------------------
+(define (symbol->string s) (%rep-ref symbol-rep s (%rep-project fixnum-rep 0)))
+(define (string->symbol s) (%intern s))
+
+;; -- boxes (used by assignment conversion) -----------------------------------
+(define (box v) (%rep-alloc box-rep (%rep-project fixnum-rep 1) v))
+(define (unbox b) (%rep-ref box-rep b (%rep-project fixnum-rep 0)))
+(define (set-box! b v) (%rep-set! box-rep b (%rep-project fixnum-rep 0) v))
+(define (box? x) (%rep-inject boolean-rep (%rep-test box-rep x)))
+
+;; -- i/o and errors ----------------------------------------------------------
+(define (write-char c) (%write-char c))
+(define (error v) (%error v))

@@ -1,0 +1,143 @@
+;;; prims_abstract_checked.scm --- the abstract primitive layer, with safety.
+;;;
+;;; The paper's framing makes safety a *library policy* question, not a
+;;; compiler one: this file is the same ordinary code as
+;;; prims_abstract.scm, plus type and bounds checks — written with the same
+;;; rep-type operations the checks protect. The compiler is unchanged; the
+;;; cost of safety is measured in tests/integration_checked.rs.
+
+;; -- helpers ------------------------------------------------------------------
+(define (checked-fail what) (%error what))
+
+;; -- fixnums ---------------------------------------------------------------
+(define (fixnum? x) (%rep-inject boolean-rep (%rep-test fixnum-rep x)))
+(define (check-fx x)
+  (if (%rep-inject boolean-rep (%rep-test fixnum-rep x)) x (checked-fail 'not-a-fixnum)))
+(define (fx+ a b)
+  (%rep-inject fixnum-rep
+               (%word+ (%rep-project fixnum-rep (check-fx a))
+                       (%rep-project fixnum-rep (check-fx b)))))
+(define (fx- a b)
+  (%rep-inject fixnum-rep
+               (%word- (%rep-project fixnum-rep (check-fx a))
+                       (%rep-project fixnum-rep (check-fx b)))))
+(define (fx* a b)
+  (%rep-inject fixnum-rep
+               (%word* (%rep-project fixnum-rep (check-fx a))
+                       (%rep-project fixnum-rep (check-fx b)))))
+(define (fxquotient a b)
+  (%rep-inject fixnum-rep
+               (%word-quotient (%rep-project fixnum-rep (check-fx a))
+                               (%rep-project fixnum-rep (check-fx b)))))
+(define (fxremainder a b)
+  (%rep-inject fixnum-rep
+               (%word-remainder (%rep-project fixnum-rep (check-fx a))
+                                (%rep-project fixnum-rep (check-fx b)))))
+(define (fx< a b)
+  (%rep-inject boolean-rep
+               (%word<? (%rep-project fixnum-rep (check-fx a))
+                        (%rep-project fixnum-rep (check-fx b)))))
+(define (fx= a b)
+  (%rep-inject boolean-rep
+               (%word=? (%rep-project fixnum-rep (check-fx a))
+                        (%rep-project fixnum-rep (check-fx b)))))
+
+;; -- identity --------------------------------------------------------------
+(define (eq? a b) (%rep-inject boolean-rep (%eq? a b)))
+
+;; -- pairs (type-checked access) ---------------------------------------------
+(define (cons a d)
+  (let ((p (%rep-alloc pair-rep (%rep-project fixnum-rep 2) a)))
+    (%rep-set! pair-rep p (%rep-project fixnum-rep 1) d)
+    p))
+(define (check-pair p)
+  (if (%rep-inject boolean-rep (%rep-test pair-rep p)) p (checked-fail 'not-a-pair)))
+(define (car p) (%rep-ref pair-rep (check-pair p) (%rep-project fixnum-rep 0)))
+(define (cdr p) (%rep-ref pair-rep (check-pair p) (%rep-project fixnum-rep 1)))
+(define (set-car! p v) (%rep-set! pair-rep (check-pair p) (%rep-project fixnum-rep 0) v))
+(define (set-cdr! p v) (%rep-set! pair-rep (check-pair p) (%rep-project fixnum-rep 1) v))
+(define (pair? x) (%rep-inject boolean-rep (%rep-test pair-rep x)))
+(define (null? x) (%rep-inject boolean-rep (%rep-test null-rep x)))
+
+;; -- vectors (type- and bounds-checked) ----------------------------------------
+(define (check-vector v)
+  (if (%rep-inject boolean-rep (%rep-test vector-rep v)) v (checked-fail 'not-a-vector)))
+(define (check-index-raw ri n)
+  (if (%rep-inject boolean-rep (%word<? ri 0))
+      (checked-fail 'index-negative)
+      (if (%rep-inject boolean-rep (%word<? ri n))
+          ri
+          (checked-fail 'index-out-of-range))))
+(define (make-vector n fill)
+  (let ((rn (%rep-project fixnum-rep (check-fx n))))
+    (if (%rep-inject boolean-rep (%word<? rn 0))
+        (checked-fail 'negative-size)
+        (%rep-alloc vector-rep rn fill))))
+(define (vector-ref v i)
+  (let ((cv (check-vector v)))
+    (%rep-ref vector-rep cv
+              (check-index-raw (%rep-project fixnum-rep (check-fx i))
+                               (%rep-length vector-rep cv)))))
+(define (vector-set! v i x)
+  (let ((cv (check-vector v)))
+    (%rep-set! vector-rep cv
+               (check-index-raw (%rep-project fixnum-rep (check-fx i))
+                                (%rep-length vector-rep cv))
+               x)))
+(define (vector-length v)
+  (%rep-inject fixnum-rep (%rep-length vector-rep (check-vector v))))
+(define (vector? x) (%rep-inject boolean-rep (%rep-test vector-rep x)))
+
+;; -- strings (type- and bounds-checked) -----------------------------------------
+(define (check-string s)
+  (if (%rep-inject boolean-rep (%rep-test string-rep s)) s (checked-fail 'not-a-string)))
+(define (make-string n fill)
+  (let ((rn (%rep-project fixnum-rep (check-fx n))))
+    (if (%rep-inject boolean-rep (%word<? rn 0))
+        (checked-fail 'negative-size)
+        (%rep-alloc string-rep rn fill))))
+(define (string-ref s i)
+  (let ((cs (check-string s)))
+    (%rep-ref string-rep cs
+              (check-index-raw (%rep-project fixnum-rep (check-fx i))
+                               (%rep-length string-rep cs)))))
+(define (string-set! s i c)
+  (let ((cs (check-string s)))
+    (%rep-set! string-rep cs
+               (check-index-raw (%rep-project fixnum-rep (check-fx i))
+                                (%rep-length string-rep cs))
+               c)))
+(define (string-length s)
+  (%rep-inject fixnum-rep (%rep-length string-rep (check-string s))))
+(define (string? x) (%rep-inject boolean-rep (%rep-test string-rep x)))
+
+;; -- characters --------------------------------------------------------------
+(define (char->integer c) (%rep-inject fixnum-rep (%rep-project char-rep c)))
+(define (integer->char n) (%rep-inject char-rep (%rep-project fixnum-rep (check-fx n))))
+(define (char? x) (%rep-inject boolean-rep (%rep-test char-rep x)))
+
+;; -- other type tests --------------------------------------------------------
+(define (boolean? x) (%rep-inject boolean-rep (%rep-test boolean-rep x)))
+(define (symbol? x) (%rep-inject boolean-rep (%rep-test symbol-rep x)))
+(define (procedure? x) (%rep-inject boolean-rep (%rep-test closure-rep x)))
+(define (eof-object? x) (%rep-inject boolean-rep (%rep-test eof-rep x)))
+(define (eof-object) (%rep-inject eof-rep 0))
+
+;; -- symbols -----------------------------------------------------------------
+(define (symbol->string s)
+  (if (%rep-inject boolean-rep (%rep-test symbol-rep s))
+      (%rep-ref symbol-rep s (%rep-project fixnum-rep 0))
+      (checked-fail 'not-a-symbol)))
+(define (string->symbol s) (%intern (check-string s)))
+
+;; -- boxes ----------------------------------------------------------------------
+(define (box v) (%rep-alloc box-rep (%rep-project fixnum-rep 1) v))
+(define (check-box b)
+  (if (%rep-inject boolean-rep (%rep-test box-rep b)) b (checked-fail 'not-a-box)))
+(define (unbox b) (%rep-ref box-rep (check-box b) (%rep-project fixnum-rep 0)))
+(define (set-box! b v) (%rep-set! box-rep (check-box b) (%rep-project fixnum-rep 0) v))
+(define (box? x) (%rep-inject boolean-rep (%rep-test box-rep x)))
+
+;; -- i/o and errors ----------------------------------------------------------
+(define (write-char c) (%write-char c))
+(define (error v) (%error v))

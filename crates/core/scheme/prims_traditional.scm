@@ -1,0 +1,62 @@
+;;; prims_traditional.scm --- the baseline: primitives as compiler intrinsics.
+;;;
+;;; Each %i-… form is expanded by the code generator's hand-written,
+;;; layout-aware templates (see sxr-codegen/src/intrinsics.rs) — the
+;;; "contorted, traditional technique" the abstract pipeline competes with.
+
+(define (fixnum? x) (%i-fixnum? x))
+(define (fx+ a b) (%i-fx+ a b))
+(define (fx- a b) (%i-fx- a b))
+(define (fx* a b) (%i-fx* a b))
+(define (fxquotient a b) (%i-fxquotient a b))
+(define (fxremainder a b) (%i-fxremainder a b))
+(define (fx< a b) (%i-fx< a b))
+(define (fx= a b) (%i-fx= a b))
+
+(define (eq? a b) (%i-eq? a b))
+
+(define (cons a d) (%i-cons a d))
+(define (car p) (%i-car p))
+(define (cdr p) (%i-cdr p))
+(define (set-car! p v) (%i-set-car! p v))
+(define (set-cdr! p v) (%i-set-cdr! p v))
+(define (pair? x) (%i-pair? x))
+(define (null? x) (%i-null? x))
+
+(define (make-vector n fill) (%i-make-vector n fill))
+(define (vector-ref v i) (%i-vector-ref v i))
+(define (vector-set! v i x) (%i-vector-set! v i x))
+(define (vector-length v) (%i-vector-length v))
+(define (vector? x) (%i-vector? x))
+
+(define (make-string n fill) (%i-make-string n fill))
+(define (string-ref s i) (%i-string-ref s i))
+(define (string-set! s i c) (%i-string-set! s i c))
+(define (string-length s) (%i-string-length s))
+(define (string? x) (%i-string? x))
+
+(define (char->integer c) (%i-char->integer c))
+(define (integer->char n) (%i-integer->char n))
+(define (char? x) (%i-char? x))
+
+(define (boolean? x) (%i-boolean? x))
+(define (symbol? x) (%i-symbol? x))
+(define (procedure? x) (%i-procedure? x))
+;; The traditional baseline has no eof intrinsics; reuse the rep facility
+;; (cold path, not part of any measured primitive).
+(define (eof-object? x) (%rep-inject boolean-rep (%rep-test eof-rep x)))
+(define (eof-object) (%rep-inject eof-rep 0))
+
+(define (symbol->string s) (%i-symbol->string s))
+(define (string->symbol s) (%intern s))
+
+;; Boxes: a traditional compiler would use a one-slot record; reuse the
+;; rep facility's box type through generic ops' specialized forms is not
+;; available here, so pairs stand in (same asymptotics, one extra word).
+(define (box v) (%i-cons v '()))
+(define (unbox b) (%i-car b))
+(define (set-box! b v) (%i-set-car! b v))
+(define (box? x) (%i-pair? x))
+
+(define (write-char c) (%write-char c))
+(define (error v) (%error v))

@@ -1,0 +1,51 @@
+;;; reps.scm --- the representation layer's POLICY, as ordinary library code.
+;;;
+;;; This file is the heart of the reproduction: the compiler has no idea
+;;; what a fixnum or a pair looks like until this library tells it.  Each
+;;; declaration constructs a first-class representation type; %provide-rep!
+;;; volunteers types for the structural roles the machine layer consults
+;;; (literal encoding, the GC's pointer test, closure allocation).
+;;;
+;;; The scheme below is the classic 64-bit low-tag layout:
+;;;
+;;;   xxx...xxx000   fixnum (61 bits, tag 0 so add/sub work tagged)
+;;;   ttttt...010    other immediates, sub-tagged in bits 3-7
+;;;   addr | 001     pair            addr | 011   vector
+;;;   addr | 100     records (discriminated by header type id)
+;;;   addr | 101     string          addr | 110   symbol
+;;;   addr | 111     closure
+;;;
+;;; Swapping this file for another layout (see tests/alt-tagging) changes
+;;; every tag in the system without touching the compiler.
+
+(define fixnum-rep      (%make-immediate-type 'fixnum 3 0 3))
+(define boolean-rep     (%make-immediate-type 'boolean 8 2 8))    ; 00000 010
+(define char-rep        (%make-immediate-type 'char 8 18 8))      ; 00010 010
+(define null-rep        (%make-immediate-type 'null 8 34 8))      ; 00100 010
+(define unspecified-rep (%make-immediate-type 'unspecified 8 50 8)) ; 00110 010
+(define eof-rep         (%make-immediate-type 'eof 8 66 8))       ; 01000 010
+
+(define pair-rep        (%make-pointer-type 'pair 1 #f))
+(define vector-rep      (%make-pointer-type 'vector 3 #f))
+(define rep-type-rep    (%make-pointer-type 'rep-type 4 #t))
+(define box-rep         (%make-pointer-type 'box 4 #t))
+(define string-rep      (%make-pointer-type 'string 5 #f))
+(define symbol-rep      (%make-pointer-type 'symbol 6 #f))
+(define closure-rep     (%make-pointer-type 'closure 7 #f))
+
+(%provide-rep! 'fixnum fixnum-rep)
+(%provide-rep! 'boolean boolean-rep)
+(%provide-rep! 'char char-rep)
+(%provide-rep! 'null null-rep)
+(%provide-rep! 'unspecified unspecified-rep)
+(%provide-rep! 'eof eof-rep)
+(%provide-rep! 'pair pair-rep)
+(%provide-rep! 'vector vector-rep)
+(%provide-rep! 'rep-type rep-type-rep)
+(%provide-rep! 'string string-rep)
+(%provide-rep! 'symbol symbol-rep)
+(%provide-rep! 'closure closure-rep)
+
+;; The tag user record types share (discriminated by header type id);
+;; consumed by the define-record-type desugaring.
+(define record-tag 4)

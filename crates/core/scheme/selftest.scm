@@ -1,0 +1,191 @@
+;;; selftest.scm --- a Scheme-level conformance corpus.
+;;;
+;;; Runs a few hundred assertions against the library and primitive layer.
+;;; The Rust harness executes this file under every pipeline configuration
+;;; and requires the final line to report zero failures. Because the checks
+;;; are written in the object language, they exercise the whole stack:
+;;; reader, expander, optimizer, code generator, VM, and GC.
+
+(define failures 0)
+(define checks 0)
+
+(define (check! name ok)
+  (set! checks (fx+ checks 1))
+  (unless ok
+    (set! failures (fx+ failures 1))
+    (display "FAIL: ") (display name) (newline)))
+
+(define (check-equal! name actual expected)
+  (check! name (equal? actual expected)))
+
+;; --- fixnum arithmetic ---
+(check-equal! 'add (fx+ 2 3) 5)
+(check-equal! 'add-neg (fx+ -2 -3) -5)
+(check-equal! 'sub (fx- 2 3) -1)
+(check-equal! 'mul (fx* -4 6) -24)
+(check-equal! 'quot (fxquotient 17 5) 3)
+(check-equal! 'quot-neg (fxquotient -17 5) -3)
+(check-equal! 'rem (fxremainder 17 5) 2)
+(check-equal! 'rem-neg (fxremainder -17 5) -2)
+(check! 'lt (fx< 1 2))
+(check! 'lt-neg (fx< -2 -1))
+(check! 'not-lt (not (fx< 2 1)))
+(check! 'eq-fix (fx= 7 7))
+(check-equal! 'max (max 1 9 3) 9)
+(check-equal! 'min (min 4 2 8) 2)
+(check-equal! 'variadic-plus (+ 1 2 3 4 5) 15)
+(check-equal! 'variadic-minus (- 10 1 2 3) 4)
+(check-equal! 'unary-minus (- 5) -5)
+(check-equal! 'abs (fxabs -9) 9)
+(check! 'even (even? 4))
+(check! 'odd (odd? 5))
+(check! 'zero (zero? 0))
+(check! 'positive (positive? 3))
+(check! 'negative (negative? -3))
+
+;; --- booleans and predicates ---
+(check! 'not-false (not #f))
+(check! 'not-zero-truthy (not (not 0)))        ; 0 is true in Scheme
+(check! 'null-truthy (not (not '())))          ; so is ()
+(check! 'fixnum-pred (fixnum? 3))
+(check! 'fixnum-pred-neg (not (fixnum? 'a)))
+(check! 'boolean-pred (boolean? #f))
+(check! 'char-pred (char? #\a))
+(check! 'string-pred (string? "s"))
+(check! 'symbol-pred (symbol? 'sym))
+(check! 'pair-pred (pair? '(1)))
+(check! 'null-pred (null? '()))
+(check! 'vector-pred (vector? '#(1)))
+(check! 'procedure-pred (procedure? car))
+(check! 'procedure-pred-neg (not (procedure? 5)))
+
+;; --- pairs and lists ---
+(check-equal! 'car (car '(1 2)) 1)
+(check-equal! 'cdr (cdr '(1 2)) '(2))
+(check-equal! 'cons-chain (caddr '(1 2 3)) 3)
+(let ((p (cons 1 2)))
+  (set-car! p 10)
+  (set-cdr! p 20)
+  (check-equal! 'set-car (car p) 10)
+  (check-equal! 'set-cdr (cdr p) 20))
+(check-equal! 'length (length '(a b c)) 3)
+(check-equal! 'length-empty (length '()) 0)
+(check-equal! 'append (append '(1 2) '(3)) '(1 2 3))
+(check-equal! 'append-empty (append '() '(1)) '(1))
+(check-equal! 'reverse (reverse '(1 2 3)) '(3 2 1))
+(check-equal! 'list-tail (list-tail '(1 2 3 4) 2) '(3 4))
+(check-equal! 'list-ref (list-ref '(a b c) 1) 'b)
+(check-equal! 'last-pair (last-pair '(1 2 3)) '(3))
+(check! 'list-pred (list? '(1 2)))
+(check! 'list-pred-improper (not (list? '(1 . 2))))
+(check-equal! 'memq (memq 'b '(a b c)) '(b c))
+(check! 'memq-miss (not (memq 'z '(a b))))
+(check-equal! 'member (member "b" '("a" "b")) '("b"))
+(check-equal! 'assq (assq 'b '((a . 1) (b . 2))) '(b . 2))
+(check-equal! 'assoc (assoc "k" '(("j" . 1) ("k" . 2))) '("k" . 2))
+(check-equal! 'map (map add1 '(1 2 3)) '(2 3 4))
+(check-equal! 'map2 (map2 fx+ '(1 2) '(10 20)) '(11 22))
+(check-equal! 'filter (filter odd? '(1 2 3 4 5)) '(1 3 5))
+(check-equal! 'fold-left (fold-left fx- 0 '(1 2 3)) -6)
+(check-equal! 'fold-right (fold-right cons '() '(1 2)) '(1 2))
+(check-equal! 'iota (iota 4) '(0 1 2 3))
+(check-equal! 'list-var (list 1 2 3) '(1 2 3))
+(check-equal! 'list-empty (list) '())
+(check-equal! 'apply-spread (apply fx+ '(20 22)) 42)
+(check-equal! 'apply-zero (apply list '()) '())
+(let ((counted 0))
+  (for-each (lambda (x) (set! counted (fx+ counted x))) '(1 2 3))
+  (check-equal! 'for-each counted 6))
+
+;; --- equality ---
+(check! 'eq-sym (eq? 'a 'a))
+(check! 'eqv-char (eqv? #\x #\x))
+(check! 'equal-nested (equal? '(1 (2 #(3 "4"))) '(1 (2 #(3 "4")))))
+(check! 'equal-neg (not (equal? '(1 2) '(1 3))))
+(check! 'equal-vec-len (not (equal? '#(1) '#(1 2))))
+
+;; --- characters and strings ---
+(check-equal! 'char-int (char->integer #\A) 65)
+(check-equal! 'int-char (integer->char 97) #\a)
+(check! 'char-lt (char<? #\a #\b))
+(check-equal! 'string-length (string-length "hello") 5)
+(check-equal! 'string-ref (string-ref "abc" 2) #\c)
+(let ((s (make-string 3 #\z)))
+  (string-set! s 1 #\q)
+  (check-equal! 'string-set (string-ref s 1) #\q))
+(check! 'string-eq (string=? "abc" "abc"))
+(check! 'string-eq-neg (not (string=? "abc" "abd")))
+(check-equal! 'substring (substring "hello" 1 4) "ell")
+(check-equal! 'string-append (string-append "foo" "bar") "foobar")
+(check-equal! 'string-list (string->list "ab") '(#\a #\b))
+(check-equal! 'list-string (list->string '(#\x #\y)) "xy")
+(check-equal! 'num-string (number->string 1234) "1234")
+(check-equal! 'num-string-neg (number->string -56) "-56")
+(check-equal! 'num-string-zero (number->string 0) "0")
+(check! 'sym-string (string=? (symbol->string 'howdy) "howdy"))
+(check! 'string-sym (eq? (string->symbol "abc") 'abc))
+
+;; --- vectors ---
+(let ((v (make-vector 4 7)))
+  (check-equal! 'vector-length (vector-length v) 4)
+  (check-equal! 'vector-fill-init (vector-ref v 3) 7)
+  (vector-set! v 2 42)
+  (check-equal! 'vector-set (vector-ref v 2) 42)
+  (vector-fill! v 9)
+  (check-equal! 'vector-fill (vector-ref v 2) 9))
+(check-equal! 'vector-list (vector->list '#(1 2)) '(1 2))
+(check-equal! 'list-vector (list->vector '(1 2)) '#(1 2))
+(check-equal! 'vector-map (vector-map add1 '#(1 2)) '#(2 3))
+
+;; --- control and binding forms ---
+(check-equal! 'named-let
+              (let loop ((i 0) (acc '()))
+                (if (fx= i 3) (reverse acc) (loop (fx+ i 1) (cons i acc))))
+              '(0 1 2))
+(check-equal! 'do-loop (do ((i 0 (fx+ i 1)) (s 0 (fx+ s i))) ((fx= i 5) s)) 10)
+(check-equal! 'case (case 2 ((1) 'one) ((2 3) 'few) (else 'many)) 'few)
+(check-equal! 'cond-arrow (cond ((assq 'b '((b . 7))) => cdr) (else 'no)) 7)
+(check-equal! 'when-t (when #t 1 2) 2)
+(check-equal! 'and-short (and 1 2 3) 3)
+(check-equal! 'or-short (or #f #f 9) 9)
+(check-equal! 'let* (let* ((a 1) (b (fx+ a 1))) (fx* a b)) 2)
+(check-equal! 'letrec
+              (letrec ((e? (lambda (n) (if (fx= n 0) #t (o? (fx- n 1)))))
+                       (o? (lambda (n) (if (fx= n 0) #f (e? (fx- n 1))))))
+                (list (e? 6) (o? 6)))
+              '(#t #f))
+(check-equal! 'quasi (let ((x 5)) `(a ,x ,@(list 1 2) . ,x)) '(a 5 1 2 . 5))
+
+;; --- closures and state ---
+(define (make-counter)
+  (let ((n 0)) (lambda () (set! n (fx+ n 1)) n)))
+(let ((c1 (make-counter)) (c2 (make-counter)))
+  (c1) (c1)
+  (check-equal! 'counter-independent (list (c1) (c2)) '(3 1)))
+(check-equal! 'boxes (let ((b (box 1))) (set-box! b 2) (unbox b)) 2)
+
+;; --- records over first-class representations ---
+(define-record-type seg
+  (make-seg lo hi)
+  seg?
+  (lo seg-lo)
+  (hi seg-hi set-seg-hi!))
+(let ((s (make-seg 1 9)))
+  (check! 'record-pred (seg? s))
+  (check! 'record-pred-neg (not (seg? (cons 1 9))))
+  (check-equal! 'record-ref (seg-hi s) 9)
+  (set-seg-hi! s 10)
+  (check-equal! 'record-set (seg-hi s) 10))
+
+;; --- the representation facility itself ---
+;; Wrapping any value in a fresh immediate type and projecting it back
+;; round-trips the underlying word exactly.
+(check! 'rep-first-class
+        (let ((r (%make-immediate-type 'self-test-imm 8 98 8)))
+          (fx= 5 (%rep-project r (%rep-inject r 5)))))
+
+;; --- report ---
+(display checks) (display " checks, ")
+(display failures) (display " failures")
+(newline)
+(if (fx= failures 0) 'ok 'FAILED)

@@ -1,0 +1,113 @@
+//! `sxr` — command-line front end for the SchemeXerox reproduction.
+//!
+//! ```text
+//! sxr [OPTIONS] <file.scm>       run a program
+//! sxr [OPTIONS] -e '<expr>'      run an expression
+//!
+//! OPTIONS:
+//!   --mode <abstract|traditional|noopt>   pipeline (default: abstract)
+//!   --ablate <pass>                       disable one optimizer pass
+//!   --counters                            print dynamic instruction counters
+//!   --dis <name>                          disassemble a procedure and exit
+//!   --heap <words>                        initial heap size in words
+//! ```
+
+use sxr::{Compiler, PipelineConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sxr [--mode abstract|traditional|noopt] [--ablate PASS] \
+         [--counters] [--dis NAME] [--heap WORDS] (FILE.scm | -e EXPR)"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut mode = "abstract".to_string();
+    let mut ablate: Option<String> = None;
+    let mut counters = false;
+    let mut dis: Option<String> = None;
+    let mut heap: Option<usize> = None;
+    let mut source: Option<String> = None;
+
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--mode" => mode = args.next().unwrap_or_else(|| usage()),
+            "--ablate" => ablate = Some(args.next().unwrap_or_else(|| usage())),
+            "--counters" => counters = true,
+            "--dis" => dis = Some(args.next().unwrap_or_else(|| usage())),
+            "--heap" => {
+                heap = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "-e" => source = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            path if !path.starts_with('-') && source.is_none() => {
+                source = Some(match std::fs::read_to_string(path) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("sxr: cannot read {path}: {e}");
+                        std::process::exit(1);
+                    }
+                })
+            }
+            _ => usage(),
+        }
+    }
+    let Some(source) = source else { usage() };
+
+    let mut cfg = match mode.as_str() {
+        "abstract" | "opt" => PipelineConfig::abstract_optimized(),
+        "traditional" | "trad" => PipelineConfig::traditional(),
+        "noopt" => PipelineConfig::abstract_unoptimized(),
+        other => {
+            eprintln!("sxr: unknown mode `{other}`");
+            std::process::exit(2);
+        }
+    };
+    if let Some(pass) = ablate {
+        cfg.opt = cfg.opt.without(&pass);
+    }
+    if let Some(words) = heap {
+        cfg = cfg.with_heap_words(words);
+    }
+
+    let compiled = match Compiler::new(cfg).compile(&source) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("sxr: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if let Some(name) = dis {
+        match compiled.disassemble(&name) {
+            Some(text) => print!("{text}"),
+            None => {
+                eprintln!("sxr: no procedure named `{name}`");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    match compiled.run() {
+        Ok(outcome) => {
+            print!("{}", outcome.output);
+            if outcome.value != "#<unspecified>" {
+                println!("{}", outcome.value);
+            }
+            if counters {
+                eprintln!("; {}", outcome.counters.summary());
+            }
+        }
+        Err(e) => {
+            eprintln!("sxr: {e}");
+            std::process::exit(1);
+        }
+    }
+}

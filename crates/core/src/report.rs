@@ -1,0 +1,98 @@
+//! Report helpers shared by the benchmark harness (Tables 1–3, Figures
+//! 1–2) and the examples.
+
+use crate::{Compiled, Compiler, PipelineConfig};
+
+/// The primitive operations whose generated code Table 1 compares.
+pub const TABLE1_PRIMS: &[&str] = &[
+    "car",
+    "cdr",
+    "cons",
+    "set-car!",
+    "pair?",
+    "null?",
+    "fx+",
+    "fx-",
+    "fx*",
+    "fxquotient",
+    "fx<",
+    "fx=",
+    "eq?",
+    "fixnum?",
+    "vector-ref",
+    "vector-set!",
+    "vector-length",
+    "make-vector",
+    "string-ref",
+    "string-length",
+    "char->integer",
+    "integer->char",
+    "box",
+    "unbox",
+    "set-box!",
+    "procedure?",
+];
+
+/// Compiles an (essentially empty) program under `config` so the prelude's
+/// primitive bodies can be inspected.
+///
+/// # Errors
+///
+/// Propagates any [`crate::CompileError`] (the prelude must compile).
+pub fn compile_prelude_probe(config: PipelineConfig) -> Result<Compiled, crate::CompileError> {
+    Compiler::new(config).compile("0")
+}
+
+/// One primitive's static instruction counts across the three
+/// configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrimRow {
+    /// Primitive name.
+    pub name: String,
+    /// Instruction count under `Traditional`.
+    pub traditional: usize,
+    /// Instruction count under `AbstractOpt`.
+    pub abstract_opt: usize,
+    /// Instruction count under `AbstractNoOpt`.
+    pub abstract_noopt: usize,
+}
+
+/// Builds Table 1: per-primitive static instruction counts (including the
+/// final return) for each configuration.
+///
+/// # Errors
+///
+/// Propagates compile errors from any configuration.
+pub fn table1_rows() -> Result<Vec<PrimRow>, crate::CompileError> {
+    let trad = compile_prelude_probe(PipelineConfig::traditional())?;
+    let aopt = compile_prelude_probe(PipelineConfig::abstract_optimized())?;
+    let anop = compile_prelude_probe(PipelineConfig::abstract_unoptimized())?;
+    Ok(TABLE1_PRIMS
+        .iter()
+        .filter_map(|name| {
+            Some(PrimRow {
+                name: (*name).to_string(),
+                traditional: trad.static_count(name)?,
+                abstract_opt: aopt.static_count(name)?,
+                abstract_noopt: anop.static_count(name)?,
+            })
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_compiles_everywhere() {
+        for cfg in [
+            PipelineConfig::traditional(),
+            PipelineConfig::abstract_optimized(),
+            PipelineConfig::abstract_unoptimized(),
+        ] {
+            let c = compile_prelude_probe(cfg).unwrap();
+            assert!(c.static_count("car").is_some(), "car exists");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Human-readable printing of the IR (used by tests, debugging, and the
+//! `compiler_explorer` example).
+
+use crate::anf::{Atom, Bound, Expr, Fun, Literal, Module, Test};
+use std::fmt::Write as _;
+
+/// Renders a whole module.
+pub fn module_to_string(m: &Module) -> String {
+    let mut out = String::new();
+    for (i, f) in m.funs.iter().enumerate() {
+        let marker = if i as u32 == m.main { " ;; entry" } else { "" };
+        let _ = writeln!(
+            out,
+            "(fun f{i} {}{marker}",
+            f.name.as_deref().unwrap_or("anonymous")
+        );
+        let _ = writeln!(
+            out,
+            "  (self v{} params ({}) free {})",
+            f.self_var,
+            f.params.iter().map(|p| format!("v{p}")).collect::<Vec<_>>().join(" "),
+            f.free_count
+        );
+        write_expr(&mut out, &f.body, 1);
+        let _ = writeln!(out, ")");
+    }
+    out
+}
+
+/// Renders one function.
+pub fn fun_to_string(f: &Fun) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, &f.body, 0);
+    out
+}
+
+/// Renders one expression.
+pub fn expr_to_string(e: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, e, 0);
+    out
+}
+
+fn atom(a: &Atom) -> String {
+    match a {
+        Atom::Var(v) => format!("v{v}"),
+        Atom::Lit(Literal::Datum(d)) => format!("'{d}"),
+        Atom::Lit(Literal::Unspecified) => "#unspecified".to_string(),
+        Atom::Lit(Literal::Rep(r)) => format!("#rep{r}"),
+        Atom::Lit(Literal::Raw(w)) => format!("#raw{w}"),
+    }
+}
+
+fn atoms(list: &[Atom]) -> String {
+    list.iter().map(atom).collect::<Vec<_>>().join(" ")
+}
+
+fn test(t: &Test) -> String {
+    match t {
+        Test::Truthy(a) => format!("(truthy {})", atom(a)),
+        Test::NonZero(a) => format!("(nonzero {})", atom(a)),
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr, indent: usize) {
+    let pad = "  ".repeat(indent);
+    match e {
+        Expr::Let(v, b, body) => {
+            match b {
+                Bound::Atom(a) => {
+                    let _ = writeln!(out, "{pad}(let v{v} {})", atom(a));
+                }
+                Bound::Prim(op, args) => {
+                    let _ = writeln!(out, "{pad}(let v{v} ({op} {}))", atoms(args));
+                }
+                Bound::Call(f, args) => {
+                    let _ = writeln!(out, "{pad}(let v{v} (call {} {}))", atom(f), atoms(args));
+                }
+                Bound::CallKnown(fid, clo, args) => {
+                    let _ = writeln!(
+                        out,
+                        "{pad}(let v{v} (call-known f{fid} {} {}))",
+                        atom(clo),
+                        atoms(args)
+                    );
+                }
+                Bound::GlobalGet(g) => {
+                    let _ = writeln!(out, "{pad}(let v{v} (global {g}))");
+                }
+                Bound::GlobalSet(g, a) => {
+                    let _ = writeln!(out, "{pad}(let v{v} (global-set! {g} {}))", atom(a));
+                }
+                Bound::Lambda(l) => {
+                    let _ = writeln!(
+                        out,
+                        "{pad}(let v{v} (lambda ({})",
+                        l.params.iter().map(|p| format!("v{p}")).collect::<Vec<_>>().join(" ")
+                    );
+                    write_expr(out, &l.body, indent + 1);
+                    let _ = writeln!(out, "{pad}))");
+                }
+                Bound::MakeClosure(fid, frees) => {
+                    let _ = writeln!(out, "{pad}(let v{v} (closure f{fid} {}))", atoms(frees));
+                }
+                Bound::ClosureRef(i) => {
+                    let _ = writeln!(out, "{pad}(let v{v} (closure-ref {i}))");
+                }
+                Bound::ClosurePatch(c, i, x) => {
+                    let _ = writeln!(
+                        out,
+                        "{pad}(let v{v} (closure-patch! {} {i} {}))",
+                        atom(c),
+                        atom(x)
+                    );
+                }
+                Bound::If(t, then, els) => {
+                    let _ = writeln!(out, "{pad}(let v{v} (if {}", test(t));
+                    write_expr(out, then, indent + 1);
+                    write_expr(out, els, indent + 1);
+                    let _ = writeln!(out, "{pad}))");
+                }
+                Bound::Body(e) => {
+                    let _ = writeln!(out, "{pad}(let v{v} (body");
+                    write_expr(out, e, indent + 1);
+                    let _ = writeln!(out, "{pad}))");
+                }
+            }
+            write_expr(out, body, indent);
+        }
+        Expr::If(t, then, els) => {
+            let _ = writeln!(out, "{pad}(if {}", test(t));
+            write_expr(out, then, indent + 1);
+            write_expr(out, els, indent + 1);
+            let _ = writeln!(out, "{pad})");
+        }
+        Expr::Ret(a) => {
+            let _ = writeln!(out, "{pad}(ret {})", atom(a));
+        }
+        Expr::TailCall(f, args) => {
+            let _ = writeln!(out, "{pad}(tail-call {} {})", atom(f), atoms(args));
+        }
+        Expr::TailCallKnown(fid, clo, args) => {
+            let _ = writeln!(out, "{pad}(tail-call-known f{fid} {} {})", atom(clo), atoms(args));
+        }
+        Expr::LetRec(binds, body) => {
+            let _ = writeln!(out, "{pad}(letrec");
+            for (v, l) in binds {
+                let _ = writeln!(
+                    out,
+                    "{pad}  (v{v} (lambda ({})",
+                    l.params.iter().map(|p| format!("v{p}")).collect::<Vec<_>>().join(" ")
+                );
+                write_expr(out, &l.body, indent + 2);
+                let _ = writeln!(out, "{pad}  ))");
+            }
+            write_expr(out, body, indent + 1);
+            let _ = writeln!(out, "{pad})");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prim::PrimOp;
+
+    #[test]
+    fn renders_lets_and_ifs() {
+        let e = Expr::Let(
+            1,
+            Bound::Prim(PrimOp::WordAdd, vec![Atom::raw(1), Atom::raw(2)]),
+            Box::new(Expr::If(
+                Test::NonZero(Atom::Var(1)),
+                Box::new(Expr::Ret(Atom::Var(1))),
+                Box::new(Expr::Ret(Atom::Lit(Literal::Unspecified))),
+            )),
+        );
+        let s = expr_to_string(&e);
+        assert!(s.contains("(let v1 (%word+ #raw1 #raw2))"));
+        assert!(s.contains("(if (nonzero v1)"));
+        assert!(s.contains("(ret #unspecified)"));
+    }
+}

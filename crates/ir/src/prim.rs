@@ -1,0 +1,397 @@
+//! The sub-primitive vocabulary: everything the compiler knows how to do.
+//!
+//! This list is deliberately tiny and representation-free: raw word
+//! arithmetic, the generic representation-type facility, and a few effects.
+//! `car`, `cons`, `fx+`, … are **not** here — they are library code.
+//!
+//! The [`Intrinsic`] family exists only for the *Traditional* baseline
+//! pipeline: it models a conventional compiler whose code generator has
+//! hardwired knowledge of each primitive's representation.
+
+use std::fmt;
+
+/// A compiler sub-primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimOp {
+    /// `%word+ a b` — raw wrapping addition.
+    WordAdd,
+    /// `%word- a b` — raw wrapping subtraction.
+    WordSub,
+    /// `%word* a b` — raw wrapping multiplication.
+    WordMul,
+    /// `%word-quotient a b` — raw truncating division (errors on 0).
+    WordQuot,
+    /// `%word-remainder a b` — raw remainder (errors on 0).
+    WordRem,
+    /// `%word-and a b`.
+    WordAnd,
+    /// `%word-or a b`.
+    WordOr,
+    /// `%word-xor a b`.
+    WordXor,
+    /// `%word-shl a b` — left shift by `b` (0..=63).
+    WordShl,
+    /// `%word-shr a b` — *arithmetic* right shift by `b`.
+    WordShr,
+    /// `%word=? a b` — raw 1/0.
+    WordEq,
+    /// `%word<? a b` — signed compare, raw 1/0.
+    WordLt,
+    /// `%eq? a b` — identity on tagged values, raw 1/0.
+    PtrEq,
+    /// `%make-immediate-type name tag-bits tag shift` — first-class rep type.
+    MakeImmType,
+    /// `%make-pointer-type name tag discriminated?` — first-class rep type.
+    MakePtrType,
+    /// `%provide-rep! role rep` — volunteer a rep for a compiler role.
+    ProvideRep,
+    /// `%rep-inject rt w` — raw word to tagged value.
+    RepInject,
+    /// `%rep-project rt v` — tagged value to raw payload / header address.
+    RepProject,
+    /// `%rep-test rt v` — type predicate, raw 1/0.
+    RepTest,
+    /// `%rep-alloc rt n fill` — allocate `n` (raw) fields, each `fill`.
+    RepAlloc,
+    /// `%rep-ref rt v i` — read field `i` (raw index).
+    RepRef,
+    /// `%rep-set! rt v i x` — write field `i`.
+    RepSet,
+    /// `%rep-length rt v` — raw field count.
+    RepLen,
+    /// `%intern s` — intern a string, yielding the canonical symbol.
+    Intern,
+    /// `%write-char c` — append a character to the VM output port.
+    WriteChar,
+    /// `%error v` — raise a runtime error carrying `v`.
+    Error,
+    /// `%counters-reset!` — zero the VM's dynamic instruction counters
+    /// (measurement support; zero arguments).
+    CounterReset,
+    /// A Traditional-baseline intrinsic (see [`Intrinsic`]).
+    Intrinsic(Intrinsic),
+    // -- Specialized forms, produced by optimization / intrinsic lowering,
+    //    never written in source (PrimOp::from_name does not know them) --
+    /// `v -> raw header word` of an object of the given pointer rep.
+    SpecHeader(crate::rep::RepId),
+    /// `n_raw fill -> tagged pointer`: allocate with known representation.
+    SpecAlloc(crate::rep::RepId),
+    /// `v byteoff_raw -> field`: load a field at a raw byte offset
+    /// (`8 * (index + 1)` relative to the header).
+    SpecRef(crate::rep::RepId),
+    /// `v byteoff_raw x -> unspecified`: store a field.
+    SpecSet(crate::rep::RepId),
+}
+
+/// A hardwired primitive of the Traditional baseline compiler.
+///
+/// Each corresponds to the "contorted, traditional technique": the compiler
+/// expands it directly into the ideal instruction sequence for the layout in
+/// the representation registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // names mirror the obvious Scheme procedures
+pub enum Intrinsic {
+    Car,
+    Cdr,
+    Cons,
+    SetCar,
+    SetCdr,
+    IsPair,
+    IsNull,
+    FxAdd,
+    FxSub,
+    FxMul,
+    FxQuotient,
+    FxRemainder,
+    FxLt,
+    FxEq,
+    VectorRef,
+    VectorSet,
+    VectorLength,
+    MakeVector,
+    StringRef,
+    StringSet,
+    StringLength,
+    MakeString,
+    CharToInt,
+    IntToChar,
+    IsFixnum,
+    IsBoolean,
+    IsChar,
+    IsVector,
+    IsString,
+    IsSymbol,
+    IsProcedure,
+    IsEq,
+    SymbolToString,
+}
+
+impl Intrinsic {
+    /// Argument count.
+    pub fn arity(self) -> usize {
+        use Intrinsic::*;
+        match self {
+            Car | Cdr | IsPair | IsNull | VectorLength | StringLength | CharToInt | IntToChar
+            | IsFixnum | IsBoolean | IsChar | IsVector | IsString | IsSymbol | IsProcedure
+            | SymbolToString => 1,
+            Cons | SetCar | SetCdr | FxAdd | FxSub | FxMul | FxQuotient | FxRemainder | FxLt
+            | FxEq | VectorRef | MakeVector | StringRef | MakeString | IsEq => 2,
+            VectorSet | StringSet => 3,
+        }
+    }
+
+    /// The `%i-…` surface name.
+    pub fn name(self) -> &'static str {
+        use Intrinsic::*;
+        match self {
+            Car => "i-car",
+            Cdr => "i-cdr",
+            Cons => "i-cons",
+            SetCar => "i-set-car!",
+            SetCdr => "i-set-cdr!",
+            IsPair => "i-pair?",
+            IsNull => "i-null?",
+            FxAdd => "i-fx+",
+            FxSub => "i-fx-",
+            FxMul => "i-fx*",
+            FxQuotient => "i-fxquotient",
+            FxRemainder => "i-fxremainder",
+            FxLt => "i-fx<",
+            FxEq => "i-fx=",
+            VectorRef => "i-vector-ref",
+            VectorSet => "i-vector-set!",
+            VectorLength => "i-vector-length",
+            MakeVector => "i-make-vector",
+            StringRef => "i-string-ref",
+            StringSet => "i-string-set!",
+            StringLength => "i-string-length",
+            MakeString => "i-make-string",
+            CharToInt => "i-char->integer",
+            IntToChar => "i-integer->char",
+            IsFixnum => "i-fixnum?",
+            IsBoolean => "i-boolean?",
+            IsChar => "i-char?",
+            IsVector => "i-vector?",
+            IsString => "i-string?",
+            IsSymbol => "i-symbol?",
+            IsProcedure => "i-procedure?",
+            IsEq => "i-eq?",
+            SymbolToString => "i-symbol->string",
+        }
+    }
+
+    /// All intrinsics (for name resolution and docs).
+    pub fn all() -> &'static [Intrinsic] {
+        use Intrinsic::*;
+        &[
+            Car, Cdr, Cons, SetCar, SetCdr, IsPair, IsNull, FxAdd, FxSub, FxMul, FxQuotient,
+            FxRemainder, FxLt, FxEq, VectorRef, VectorSet, VectorLength, MakeVector, StringRef,
+            StringSet, StringLength, MakeString, CharToInt, IntToChar, IsFixnum, IsBoolean,
+            IsChar, IsVector, IsString, IsSymbol, IsProcedure, IsEq, SymbolToString,
+        ]
+    }
+}
+
+impl PrimOp {
+    /// Resolves a surface name (without the `%`) to a sub-primitive.
+    pub fn from_name(name: &str) -> Option<PrimOp> {
+        use PrimOp::*;
+        let p = match name {
+            "word+" => WordAdd,
+            "word-" => WordSub,
+            "word*" => WordMul,
+            "word-quotient" => WordQuot,
+            "word-remainder" => WordRem,
+            "word-and" => WordAnd,
+            "word-or" => WordOr,
+            "word-xor" => WordXor,
+            "word-shl" => WordShl,
+            "word-shr" => WordShr,
+            "word=?" => WordEq,
+            "word<?" => WordLt,
+            "eq?" => PtrEq,
+            "make-immediate-type" => MakeImmType,
+            "make-pointer-type" => MakePtrType,
+            "provide-rep!" => ProvideRep,
+            "rep-inject" => RepInject,
+            "rep-project" => RepProject,
+            "rep-test" => RepTest,
+            "rep-alloc" => RepAlloc,
+            "rep-ref" => RepRef,
+            "rep-set!" => RepSet,
+            "rep-length" => RepLen,
+            "intern" => Intern,
+            "write-char" => WriteChar,
+            "error" => Error,
+            "counters-reset!" => CounterReset,
+            _ => {
+                let intr = crate::prim::Intrinsic::all().iter().find(|i| i.name() == name)?;
+                return Some(Intrinsic(*intr));
+            }
+        };
+        Some(p)
+    }
+
+    /// Argument count.
+    pub fn arity(self) -> usize {
+        use PrimOp::*;
+        match self {
+            CounterReset => 0,
+            Intern | WriteChar | Error => 1,
+            WordAdd | WordSub | WordMul | WordQuot | WordRem | WordAnd | WordOr | WordXor
+            | WordShl | WordShr | WordEq | WordLt | PtrEq | RepInject | RepProject | RepTest
+            | RepLen | ProvideRep => 2,
+            MakePtrType | RepAlloc | RepRef => 3,
+            MakeImmType | RepSet => 4,
+            SpecHeader(_) => 1,
+            SpecAlloc(_) | SpecRef(_) => 2,
+            SpecSet(_) => 3,
+            Intrinsic(i) => i.arity(),
+        }
+    }
+
+    /// True if the op has no side effects and no failure modes, so it may be
+    /// freely duplicated, reordered past effects, or deleted when unused.
+    ///
+    /// Division ops are impure (divide-by-zero error); allocation is treated
+    /// as impure (observable identity + heap growth); `rep-ref`/`rep-length`
+    /// read mutable memory so they are *not* pure either (they may not be
+    /// reordered past `rep-set!`), but they are [`PrimOp::deletable`].
+    pub fn pure(self) -> bool {
+        use PrimOp::*;
+        matches!(
+            self,
+            WordAdd
+                | WordSub
+                | WordMul
+                | WordAnd
+                | WordOr
+                | WordXor
+                | WordShl
+                | WordShr
+                | WordEq
+                | WordLt
+                | PtrEq
+                | RepInject
+                | RepProject
+                | RepTest
+                | SpecHeader(_)
+        )
+    }
+
+    /// True if an unused application may be deleted (no side effects), even
+    /// though it may read mutable state.
+    pub fn deletable(self) -> bool {
+        use PrimOp::*;
+        if self.pure() {
+            return true;
+        }
+        if let Intrinsic(i) = self {
+            use crate::prim::Intrinsic::*;
+            return !matches!(
+                i,
+                SetCar | SetCdr | VectorSet | StringSet | FxQuotient | FxRemainder
+            );
+        }
+        matches!(
+            self,
+            RepLen | RepRef | MakeImmType | MakePtrType | RepAlloc | SpecAlloc(_) | SpecRef(_)
+        )
+    }
+}
+
+impl fmt::Display for PrimOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use PrimOp::*;
+        let s = match self {
+            WordAdd => "word+",
+            WordSub => "word-",
+            WordMul => "word*",
+            WordQuot => "word-quotient",
+            WordRem => "word-remainder",
+            WordAnd => "word-and",
+            WordOr => "word-or",
+            WordXor => "word-xor",
+            WordShl => "word-shl",
+            WordShr => "word-shr",
+            WordEq => "word=?",
+            WordLt => "word<?",
+            PtrEq => "eq?",
+            MakeImmType => "make-immediate-type",
+            MakePtrType => "make-pointer-type",
+            ProvideRep => "provide-rep!",
+            RepInject => "rep-inject",
+            RepProject => "rep-project",
+            RepTest => "rep-test",
+            RepAlloc => "rep-alloc",
+            RepRef => "rep-ref",
+            RepSet => "rep-set!",
+            RepLen => "rep-length",
+            Intern => "intern",
+            WriteChar => "write-char",
+            Error => "error",
+            CounterReset => "counters-reset!",
+            Intrinsic(i) => i.name(),
+            SpecHeader(r) => return write!(f, "%spec-header[{r}]"),
+            SpecAlloc(r) => return write!(f, "%spec-alloc[{r}]"),
+            SpecRef(r) => return write!(f, "%spec-ref[{r}]"),
+            SpecSet(r) => return write!(f, "%spec-set[{r}]"),
+        };
+        write!(f, "%{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_roundtrip() {
+        for op in [
+            PrimOp::WordAdd,
+            PrimOp::WordShr,
+            PrimOp::RepInject,
+            PrimOp::RepSet,
+            PrimOp::Intern,
+            PrimOp::Intrinsic(Intrinsic::Car),
+            PrimOp::Intrinsic(Intrinsic::VectorSet),
+        ] {
+            let shown = op.to_string();
+            let name = shown.strip_prefix('%').unwrap();
+            assert_eq!(PrimOp::from_name(name), Some(op), "roundtrip {shown}");
+        }
+    }
+
+    #[test]
+    fn unknown_name() {
+        assert_eq!(PrimOp::from_name("frobnicate"), None);
+    }
+
+    #[test]
+    fn arities() {
+        assert_eq!(PrimOp::WordAdd.arity(), 2);
+        assert_eq!(PrimOp::MakeImmType.arity(), 4);
+        assert_eq!(PrimOp::RepSet.arity(), 4);
+        assert_eq!(PrimOp::Intrinsic(Intrinsic::VectorSet).arity(), 3);
+    }
+
+    #[test]
+    fn purity_classification() {
+        assert!(PrimOp::WordAdd.pure());
+        assert!(!PrimOp::WordQuot.pure()); // can fail
+        assert!(!PrimOp::RepAlloc.pure()); // allocates
+        assert!(PrimOp::RepAlloc.deletable()); // but deletable when unused
+        assert!(PrimOp::RepRef.deletable());
+        assert!(!PrimOp::RepSet.deletable());
+        assert!(!PrimOp::WriteChar.deletable());
+        assert!(PrimOp::Intrinsic(Intrinsic::Car).deletable());
+        assert!(!PrimOp::Intrinsic(Intrinsic::SetCar).deletable());
+    }
+
+    #[test]
+    fn all_intrinsics_resolve() {
+        for i in Intrinsic::all() {
+            assert_eq!(PrimOp::from_name(i.name()), Some(PrimOp::Intrinsic(*i)));
+        }
+    }
+}

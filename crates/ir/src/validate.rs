@@ -1,0 +1,305 @@
+//! IR sanity checking. The validator is cheap enough to run after every
+//! pass in debug builds, and the test suites run it constantly; it exists to
+//! turn "miscompiled program" into "failed invariant at the pass that broke
+//! it".
+
+use crate::anf::{Atom, Bound, Expr, Fun, Module, VarId};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A violated IR invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError(pub String);
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IR invariant violated: {}", self.0)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validates a closure-converted module:
+///
+/// * no nested lambdas / letrec,
+/// * every variable defined before use, defined exactly once per function,
+/// * `ClosureRef` indices within `free_count`,
+/// * `CallKnown`/`MakeClosure` function ids in range,
+/// * `Bound::If` branches end in `Ret` (no tail calls).
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn validate_module(m: &Module) -> Result<(), ValidateError> {
+    for (i, f) in m.funs.iter().enumerate() {
+        validate_fun(m, f).map_err(|e| {
+            ValidateError(format!(
+                "in f{i} ({}): {}",
+                f.name.as_deref().unwrap_or("anonymous"),
+                e.0
+            ))
+        })?;
+    }
+    if m.main as usize >= m.funs.len() {
+        return Err(ValidateError("main function id out of range".to_string()));
+    }
+    Ok(())
+}
+
+fn validate_fun(m: &Module, f: &Fun) -> Result<(), ValidateError> {
+    let mut defined: HashSet<VarId> = HashSet::new();
+    defined.insert(f.self_var);
+    for p in f.params.iter().chain(f.rest.iter()) {
+        if !defined.insert(*p) {
+            return Err(ValidateError(format!("duplicate parameter v{p}")));
+        }
+    }
+    check_expr(m, f, &f.body, &mut defined, true)
+}
+
+fn check_atom(a: &Atom, defined: &HashSet<VarId>) -> Result<(), ValidateError> {
+    if let Atom::Var(v) = a {
+        if !defined.contains(v) {
+            return Err(ValidateError(format!("use of undefined variable v{v}")));
+        }
+    }
+    Ok(())
+}
+
+/// `tail` is true when tail calls are permitted in this position.
+fn check_expr(
+    m: &Module,
+    f: &Fun,
+    e: &Expr,
+    defined: &mut HashSet<VarId>,
+    tail: bool,
+) -> Result<(), ValidateError> {
+    match e {
+        Expr::Let(v, b, body) => {
+            check_bound(m, f, b, defined)?;
+            if !defined.insert(*v) {
+                return Err(ValidateError(format!("variable v{v} defined twice")));
+            }
+            check_expr(m, f, body, defined, tail)
+        }
+        Expr::If(t, then, els) => {
+            check_atom(t.atom(), defined)?;
+            // Each branch sees the same scope; their bindings are disjoint
+            // (globally unique ids), so a shared `defined` set is fine.
+            check_expr(m, f, then, defined, tail)?;
+            check_expr(m, f, els, defined, tail)
+        }
+        Expr::Ret(a) => check_atom(a, defined),
+        Expr::TailCall(callee, args) => {
+            if !tail {
+                return Err(ValidateError("tail call in non-tail position".to_string()));
+            }
+            check_atom(callee, defined)?;
+            args.iter().try_for_each(|a| check_atom(a, defined))
+        }
+        Expr::TailCallKnown(fid, clo, args) => {
+            if !tail {
+                return Err(ValidateError("tail call in non-tail position".to_string()));
+            }
+            check_fnid(m, *fid)?;
+            check_arity(m, *fid, args.len())?;
+            check_atom(clo, defined)?;
+            args.iter().try_for_each(|a| check_atom(a, defined))
+        }
+        Expr::LetRec(..) => {
+            Err(ValidateError("letrec survives closure conversion".to_string()))
+        }
+    }
+}
+
+fn check_fnid(m: &Module, fid: u32) -> Result<(), ValidateError> {
+    if fid as usize >= m.funs.len() {
+        return Err(ValidateError(format!("function id f{fid} out of range")));
+    }
+    Ok(())
+}
+
+fn check_arity(m: &Module, fid: u32, nargs: usize) -> Result<(), ValidateError> {
+    let f = &m.funs[fid as usize];
+    let want = f.params.len();
+    if f.rest.is_some() {
+        return Err(ValidateError(format!(
+            "known call to variadic f{fid} (must stay dynamic)"
+        )));
+    }
+    if want != nargs {
+        return Err(ValidateError(format!(
+            "known call to f{fid} with {nargs} args; function takes {want}"
+        )));
+    }
+    Ok(())
+}
+
+fn check_bound(
+    m: &Module,
+    f: &Fun,
+    b: &Bound,
+    defined: &mut HashSet<VarId>,
+) -> Result<(), ValidateError> {
+    match b {
+        Bound::Atom(a) | Bound::GlobalSet(_, a) => check_atom(a, defined),
+        Bound::Prim(op, args) => {
+            if op.arity() != args.len() {
+                return Err(ValidateError(format!("{op} arity mismatch")));
+            }
+            args.iter().try_for_each(|a| check_atom(a, defined))
+        }
+        Bound::Call(callee, args) => {
+            check_atom(callee, defined)?;
+            args.iter().try_for_each(|a| check_atom(a, defined))
+        }
+        Bound::CallKnown(fid, clo, args) => {
+            check_fnid(m, *fid)?;
+            check_arity(m, *fid, args.len())?;
+            check_atom(clo, defined)?;
+            args.iter().try_for_each(|a| check_atom(a, defined))
+        }
+        Bound::GlobalGet(g) => {
+            if *g as usize >= m.global_names.len() {
+                return Err(ValidateError(format!("global {g} out of range")));
+            }
+            Ok(())
+        }
+        Bound::Lambda(_) => {
+            Err(ValidateError("nested lambda survives closure conversion".to_string()))
+        }
+        Bound::MakeClosure(fid, frees) => {
+            check_fnid(m, *fid)?;
+            let want = m.funs[*fid as usize].free_count;
+            if frees.len() != want {
+                return Err(ValidateError(format!(
+                    "closure over f{fid} with {} captures; function expects {want}",
+                    frees.len()
+                )));
+            }
+            frees.iter().try_for_each(|a| check_atom(a, defined))
+        }
+        Bound::ClosureRef(i) => {
+            if *i >= f.free_count {
+                return Err(ValidateError(format!(
+                    "closure-ref {i} out of range (free_count {})",
+                    f.free_count
+                )));
+            }
+            Ok(())
+        }
+        Bound::ClosurePatch(c, _, x) => {
+            check_atom(c, defined)?;
+            check_atom(x, defined)
+        }
+        Bound::If(t, then, els) => {
+            check_atom(t.atom(), defined)?;
+            check_expr(m, f, then, defined, false)?;
+            check_expr(m, f, els, defined, false)
+        }
+        Bound::Body(e) => check_expr(m, f, e, defined, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anf::{Literal, Test};
+
+    fn module_with_body(body: Expr) -> Module {
+        Module {
+            funs: vec![Fun {
+                name: Some("main".into()),
+                self_var: 0,
+                params: vec![],
+                rest: None,
+                free_count: 0,
+                body,
+            }],
+            main: 0,
+            global_names: vec!["g".to_string()],
+            var_names: vec![],
+        }
+    }
+
+    #[test]
+    fn accepts_well_formed() {
+        let m = module_with_body(Expr::Let(
+            1,
+            Bound::GlobalGet(0),
+            Box::new(Expr::Ret(Atom::Var(1))),
+        ));
+        assert!(validate_module(&m).is_ok());
+    }
+
+    #[test]
+    fn rejects_undefined_use() {
+        let m = module_with_body(Expr::Ret(Atom::Var(42)));
+        assert!(validate_module(&m).unwrap_err().0.contains("undefined"));
+    }
+
+    #[test]
+    fn rejects_double_definition() {
+        let m = module_with_body(Expr::Let(
+            1,
+            Bound::Atom(Atom::Lit(Literal::Unspecified)),
+            Box::new(Expr::Let(
+                1,
+                Bound::Atom(Atom::Lit(Literal::Unspecified)),
+                Box::new(Expr::Ret(Atom::Var(1))),
+            )),
+        ));
+        assert!(validate_module(&m).unwrap_err().0.contains("twice"));
+    }
+
+    #[test]
+    fn rejects_tailcall_in_bound_if() {
+        let m = module_with_body(Expr::Let(
+            1,
+            Bound::If(
+                Test::Truthy(Atom::Lit(Literal::Unspecified)),
+                Box::new(Expr::TailCall(Atom::Lit(Literal::Unspecified), vec![])),
+                Box::new(Expr::Ret(Atom::Lit(Literal::Unspecified))),
+            ),
+            Box::new(Expr::Ret(Atom::Var(1))),
+        ));
+        assert!(validate_module(&m).unwrap_err().0.contains("non-tail"));
+    }
+
+    #[test]
+    fn rejects_surviving_lambda() {
+        let m = module_with_body(Expr::Let(
+            1,
+            Bound::Lambda(crate::anf::FunDef {
+                params: vec![],
+                rest: None,
+                body: Box::new(Expr::Ret(Atom::Lit(Literal::Unspecified))),
+                name: None,
+            }),
+            Box::new(Expr::Ret(Atom::Var(1))),
+        ));
+        assert!(validate_module(&m).unwrap_err().0.contains("nested lambda"));
+    }
+
+    #[test]
+    fn rejects_bad_closure_ref() {
+        let m = module_with_body(Expr::Let(
+            1,
+            Bound::ClosureRef(0),
+            Box::new(Expr::Ret(Atom::Var(1))),
+        ));
+        assert!(validate_module(&m).unwrap_err().0.contains("closure-ref"));
+    }
+
+    #[test]
+    fn rejects_known_call_arity_mismatch() {
+        let mut m = module_with_body(Expr::Let(
+            1,
+            Bound::CallKnown(0, Atom::Lit(Literal::Unspecified), vec![]),
+            Box::new(Expr::Ret(Atom::Var(1))),
+        ));
+        m.funs[0].params = vec![9];
+        // Calling main (which now takes 1 param) with 0 args.
+        assert!(validate_module(&m).unwrap_err().0.contains("takes 1"));
+    }
+}

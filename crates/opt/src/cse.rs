@@ -1,0 +1,137 @@
+//! Common-subexpression elimination on pure operations.
+//!
+//! In the abstract pipeline, repeated tag/untag traffic (two `car`s of the
+//! same pair, a projection computed twice) is common after inlining; CSE
+//! collapses it.  Availability maps are cloned at branches; function bodies
+//! inherit the enclosing map (an available pure value stays valid however
+//! many times the closure runs).
+
+use std::collections::HashMap;
+use sxr_ir::anf::{Atom, Bound, Expr, VarId};
+use sxr_ir::prim::PrimOp;
+
+/// Runs CSE; returns the rewritten program and the replacement count.
+pub fn cse(e: Expr) -> (Expr, usize) {
+    let mut st = Cse { changed: 0 };
+    let out = st.walk(e, &mut HashMap::new());
+    (out, st.changed)
+}
+
+type Avail = HashMap<(PrimOp, Vec<Atom>), VarId>;
+
+struct Cse {
+    changed: usize,
+}
+
+impl Cse {
+    fn walk(&mut self, e: Expr, avail: &mut Avail) -> Expr {
+        match e {
+            Expr::Let(v, Bound::Prim(op, args), body) => {
+                if op.pure() {
+                    if let Some(&prev) = avail.get(&(op, args.clone())) {
+                        self.changed += 1;
+                        let b = Bound::Atom(Atom::Var(prev));
+                        return Expr::Let(v, b, Box::new(self.walk(*body, avail)));
+                    }
+                    avail.insert((op, args.clone()), v);
+                }
+                Expr::Let(v, Bound::Prim(op, args), Box::new(self.walk(*body, avail)))
+            }
+            Expr::Let(v, b, body) => {
+                let b = match b {
+                    Bound::Lambda(mut f) => {
+                        let mut inner = avail.clone();
+                        f.body = Box::new(self.walk(*f.body, &mut inner));
+                        Bound::Lambda(f)
+                    }
+                    Bound::If(t, x, y) => {
+                        let mut ax = avail.clone();
+                        let mut ay = avail.clone();
+                        Bound::If(
+                            t,
+                            Box::new(self.walk(*x, &mut ax)),
+                            Box::new(self.walk(*y, &mut ay)),
+                        )
+                    }
+                    Bound::Body(inner) => {
+                        // A straight-line body shares the parent scope.
+                        Bound::Body(Box::new(self.walk(*inner, avail)))
+                    }
+                    other => other,
+                };
+                Expr::Let(v, b, Box::new(self.walk(*body, avail)))
+            }
+            Expr::If(t, x, y) => {
+                let mut ax = avail.clone();
+                let mut ay = avail.clone();
+                Expr::If(
+                    t,
+                    Box::new(self.walk(*x, &mut ax)),
+                    Box::new(self.walk(*y, &mut ay)),
+                )
+            }
+            Expr::LetRec(binds, body) => Expr::LetRec(
+                binds
+                    .into_iter()
+                    .map(|(v, mut f)| {
+                        let mut inner = avail.clone();
+                        f.body = Box::new(self.walk(*f.body, &mut inner));
+                        (v, f)
+                    })
+                    .collect(),
+                Box::new(self.walk(*body, avail)),
+            ),
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxr_ir::anf::Test;
+
+    #[test]
+    fn duplicate_pure_op_replaced() {
+        use PrimOp::*;
+        let e = Expr::Let(
+            1,
+            Bound::Prim(WordShr, vec![Atom::Var(0), Atom::raw(3)]),
+            Box::new(Expr::Let(
+                2,
+                Bound::Prim(WordShr, vec![Atom::Var(0), Atom::raw(3)]),
+                Box::new(Expr::Ret(Atom::Var(2))),
+            )),
+        );
+        let (out, n) = cse(e);
+        assert_eq!(n, 1);
+        let Expr::Let(1, _, rest) = out else { panic!() };
+        assert!(matches!(*rest, Expr::Let(2, Bound::Atom(Atom::Var(1)), _)));
+    }
+
+    #[test]
+    fn branches_do_not_leak_into_each_other() {
+        use PrimOp::*;
+        let mk = || Bound::Prim(WordShr, vec![Atom::Var(0), Atom::raw(3)]);
+        let e = Expr::If(
+            Test::NonZero(Atom::Var(0)),
+            Box::new(Expr::Let(1, mk(), Box::new(Expr::Ret(Atom::Var(1))))),
+            Box::new(Expr::Let(2, mk(), Box::new(Expr::Ret(Atom::Var(2))))),
+        );
+        let (_, n) = cse(e);
+        assert_eq!(n, 0, "sibling branches cannot share");
+    }
+
+    #[test]
+    fn impure_not_csed() {
+        use PrimOp::*;
+        let mk = || Bound::Prim(RepRef, vec![Atom::Var(0), Atom::Var(1), Atom::raw(0)]);
+        let e = Expr::Let(
+            2,
+            mk(),
+            Box::new(Expr::Let(3, mk(), Box::new(Expr::Ret(Atom::Var(3))))),
+        );
+        let (_, n) = cse(e);
+        assert_eq!(n, 0, "memory reads may not be merged across stores");
+    }
+}

@@ -1,0 +1,235 @@
+//! Whole-program global analysis.
+//!
+//! Identifies globals that are defined exactly once at top level and never
+//! assigned again; those bound to lambdas become inlining candidates, those
+//! bound to constants become propagatable. Globals participating in a
+//! reference cycle (mutual recursion) are excluded from inlining to keep the
+//! inliner terminating.
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use sxr_ir::anf::{Atom, Bound, Expr, FunDef, GlobalId, Literal, VarId};
+
+/// What is statically known about a global.
+#[derive(Debug, Clone)]
+pub enum GlobalInfo {
+    /// Single definition to a constant.
+    Const(Literal),
+    /// Single definition to a lambda (inlinable unless `recursive`).
+    Fun {
+        /// The definition (shared; the inliner refreshes copies).
+        def: Rc<FunDef>,
+        /// True when the global participates in a reference cycle.
+        recursive: bool,
+    },
+}
+
+/// Computes [`GlobalInfo`] for every eligible global.
+pub fn analyze_globals(
+    main_body: &Expr,
+    rep_globals: &HashMap<GlobalId, sxr_ir::rep::RepId>,
+) -> HashMap<GlobalId, GlobalInfo> {
+    // 1. Count assignments everywhere.
+    let mut set_counts: HashMap<GlobalId, usize> = HashMap::new();
+    count_sets(main_body, &mut set_counts);
+
+    // 2. Walk the top-level spine collecting single definitions.
+    let mut lambda_vars: HashMap<VarId, Rc<FunDef>> = HashMap::new();
+    let mut out: HashMap<GlobalId, GlobalInfo> = HashMap::new();
+    let mut e = main_body;
+    while let Expr::Let(v, b, body) = e {
+        match b {
+            Bound::Lambda(f) => {
+                lambda_vars.insert(*v, Rc::new(f.clone()));
+            }
+            Bound::GlobalSet(g, a) if set_counts.get(g) == Some(&1) => match a {
+                Atom::Lit(l) => {
+                    out.insert(*g, GlobalInfo::Const(l.clone()));
+                }
+                Atom::Var(src) => {
+                    if let Some(def) = lambda_vars.get(src) {
+                        out.insert(
+                            *g,
+                            GlobalInfo::Fun { def: Rc::clone(def), recursive: false },
+                        );
+                    }
+                }
+            },
+            _ => {}
+        }
+        e = body;
+    }
+    // Representation globals are constants of rep type.
+    for (g, rid) in rep_globals {
+        if set_counts.get(g) == Some(&1) {
+            out.insert(*g, GlobalInfo::Const(Literal::Rep(*rid)));
+        }
+    }
+
+    // 3. Mark cycle members as recursive.
+    let graph: HashMap<GlobalId, HashSet<GlobalId>> = out
+        .iter()
+        .filter_map(|(g, info)| match info {
+            GlobalInfo::Fun { def, .. } => {
+                let mut refs = HashSet::new();
+                collect_global_refs(&def.body, &mut refs);
+                Some((*g, refs))
+            }
+            _ => None,
+        })
+        .collect();
+    let cyclic = find_cyclic(&graph);
+    for g in cyclic {
+        if let Some(GlobalInfo::Fun { recursive, .. }) = out.get_mut(&g) {
+            *recursive = true;
+        }
+    }
+    out
+}
+
+fn count_sets(e: &Expr, out: &mut HashMap<GlobalId, usize>) {
+    match e {
+        Expr::Let(_, b, body) => {
+            match b {
+                Bound::GlobalSet(g, _) => *out.entry(*g).or_insert(0) += 1,
+                Bound::Lambda(f) => count_sets(&f.body, out),
+                Bound::If(_, t, e2) => {
+                    count_sets(t, out);
+                    count_sets(e2, out);
+                }
+                Bound::Body(inner) => count_sets(inner, out),
+                _ => {}
+            }
+            count_sets(body, out);
+        }
+        Expr::If(_, t, e2) => {
+            count_sets(t, out);
+            count_sets(e2, out);
+        }
+        Expr::LetRec(binds, body) => {
+            for (_, f) in binds {
+                count_sets(&f.body, out);
+            }
+            count_sets(body, out);
+        }
+        Expr::Ret(_) | Expr::TailCall(..) | Expr::TailCallKnown(..) => {}
+    }
+}
+
+fn collect_global_refs(e: &Expr, out: &mut HashSet<GlobalId>) {
+    match e {
+        Expr::Let(_, b, body) => {
+            match b {
+                Bound::GlobalGet(g) | Bound::GlobalSet(g, _) => {
+                    out.insert(*g);
+                }
+                Bound::Lambda(f) => collect_global_refs(&f.body, out),
+                Bound::If(_, t, e2) => {
+                    collect_global_refs(t, out);
+                    collect_global_refs(e2, out);
+                }
+                Bound::Body(inner) => collect_global_refs(inner, out),
+                _ => {}
+            }
+            collect_global_refs(body, out);
+        }
+        Expr::If(_, t, e2) => {
+            collect_global_refs(t, out);
+            collect_global_refs(e2, out);
+        }
+        Expr::LetRec(binds, body) => {
+            for (_, f) in binds {
+                collect_global_refs(&f.body, out);
+            }
+            collect_global_refs(body, out);
+        }
+        Expr::Ret(_) | Expr::TailCall(..) | Expr::TailCallKnown(..) => {}
+    }
+}
+
+/// Returns every node that can reach itself (members of nontrivial SCCs,
+/// plus direct self-loops).
+fn find_cyclic(graph: &HashMap<GlobalId, HashSet<GlobalId>>) -> HashSet<GlobalId> {
+    // Simple DFS-based reachability; graphs here are small (library size).
+    let mut cyclic = HashSet::new();
+    for &start in graph.keys() {
+        let mut stack: Vec<GlobalId> = graph
+            .get(&start)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        let mut seen: HashSet<GlobalId> = HashSet::new();
+        while let Some(n) = stack.pop() {
+            if n == start {
+                cyclic.insert(start);
+                break;
+            }
+            if seen.insert(n) {
+                if let Some(next) = graph.get(&n) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+    }
+    cyclic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxr_ast::{convert_assignments, Expander};
+    use sxr_ir::lower_program;
+    use sxr_sexp::parse_all;
+
+    fn analyze(src: &str) -> (HashMap<GlobalId, GlobalInfo>, sxr_ast::Program) {
+        let mut ex = Expander::new();
+        let unit = ex.expand_unit(&parse_all(src).unwrap()).unwrap();
+        let keep = ex.into_program(vec![unit]);
+        let mut p = keep.clone();
+        convert_assignments(&mut p).unwrap();
+        let lowered = lower_program(p).unwrap();
+        (analyze_globals(&lowered.main_body, &HashMap::new()), keep)
+    }
+
+    #[test]
+    fn single_def_lambda_is_known() {
+        let (info, prog) = analyze("(define (id x) x)");
+        let g = prog.global_by_name("id").unwrap();
+        assert!(matches!(info.get(&g), Some(GlobalInfo::Fun { recursive: false, .. })));
+    }
+
+    #[test]
+    fn const_global_is_known() {
+        let (info, prog) = analyze("(define limit 100)");
+        let g = prog.global_by_name("limit").unwrap();
+        assert!(matches!(info.get(&g), Some(GlobalInfo::Const(_))));
+    }
+
+    #[test]
+    fn reassigned_global_is_unknown() {
+        let (info, prog) = analyze("(define x 1) (set! x 2)");
+        let g = prog.global_by_name("x").unwrap();
+        assert!(!info.contains_key(&g));
+    }
+
+    #[test]
+    fn self_recursion_marked() {
+        let (info, prog) = analyze("(define (loop n) (loop n))");
+        let g = prog.global_by_name("loop").unwrap();
+        assert!(matches!(info.get(&g), Some(GlobalInfo::Fun { recursive: true, .. })));
+    }
+
+    #[test]
+    fn mutual_recursion_marked() {
+        let (info, prog) = analyze(
+            "(define (even? n) (if (%word=? n 0) #t (odd? (%word- n 8))))
+             (define (odd? n) (if (%word=? n 0) #f (even? (%word- n 8))))
+             (define (leaf x) x)",
+        );
+        let ge = prog.global_by_name("even?").unwrap();
+        let go = prog.global_by_name("odd?").unwrap();
+        let gl = prog.global_by_name("leaf").unwrap();
+        assert!(matches!(info.get(&ge), Some(GlobalInfo::Fun { recursive: true, .. })));
+        assert!(matches!(info.get(&go), Some(GlobalInfo::Fun { recursive: true, .. })));
+        assert!(matches!(info.get(&gl), Some(GlobalInfo::Fun { recursive: false, .. })));
+    }
+}

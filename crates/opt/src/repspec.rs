@@ -1,0 +1,376 @@
+//! Representation specialization.
+//!
+//! When a generic representation operation's rep-type operand is a
+//! compile-time constant (the common case after inlining and constant
+//! propagation), rewrite it into raw word and memory operations.  This pass
+//! is the hinge of the whole reproduction: it converts the *generic,
+//! dynamically-dispatched* facility into the same sub-word operations a
+//! traditional compiler would emit — and records the **type assumptions**
+//! that each operation carries (`%rep-project fixnum-rep x` asserts that
+//! `x`'s low bits are the fixnum tag), which the algebraic pass then uses to
+//! cancel tag traffic.
+//!
+//! Pointer-type `%rep-inject`/`%rep-project` are deliberately *not*
+//! specialized: a raw untagged heap address in a register would be invisible
+//! to the precise collector. (The library never needs them on hot paths;
+//! field access is specialized through [`PrimOp::SpecRef`]/[`PrimOp::SpecSet`],
+//! which keep the base pointer tagged.)
+
+use std::collections::HashMap;
+use sxr_ir::anf::{Atom, Bound, Expr, Literal, NameSupply, Test, VarId};
+use sxr_ir::prim::PrimOp;
+use sxr_ir::rep::{RepKind, RepRegistry};
+#[cfg(test)]
+use sxr_ir::rep::RepId;
+
+/// Type assumptions gathered from specialized operations, keyed by the
+/// *binding* whose execution justifies them: when the binding for the key
+/// variable has executed, the subject variable's low `bits` bits equal
+/// `tag`.  The algebraic pass activates each fact only for code dominated
+/// by that binding — facts from one branch never leak into another (see the
+/// `display` dispatch regression test).
+pub type Assumptions = HashMap<VarId, (VarId, u32, u64)>;
+
+/// Runs representation specialization. Returns the rewritten program and
+/// the gathered assumptions.
+pub fn repspec(
+    e: Expr,
+    registry: &RepRegistry,
+    supply: &mut NameSupply,
+) -> (Expr, Assumptions) {
+    let mut st = Spec { registry, supply, assume: HashMap::new(), pending: None };
+    let out = st.walk(e);
+    (out, st.assume)
+}
+
+struct Spec<'a> {
+    registry: &'a RepRegistry,
+    supply: &'a mut NameSupply,
+    assume: Assumptions,
+    /// Assertion produced by the current `specialize` call:
+    /// `(subject, bits, tag)`, attached to the final binding by `walk`.
+    pending: Option<(VarId, u32, u64)>,
+}
+
+fn raw(w: i64) -> Atom {
+    Atom::Lit(Literal::Raw(w))
+}
+
+impl Spec<'_> {
+    fn assume_tag(&mut self, a: &Atom, bits: u32, tag: u64) {
+        if let Atom::Var(v) = a {
+            self.pending = Some((*v, bits, tag));
+        }
+    }
+
+    /// Builds `let tmp... in let v = last op in body` from a chain of ops,
+    /// where the final element binds to `v`.
+    fn chain(
+        &mut self,
+        v: VarId,
+        ops: Vec<Bound>,
+        body: Expr,
+    ) -> Expr {
+        let mut out = body;
+        let n = ops.len();
+        let mut temps: Vec<VarId> = Vec::with_capacity(n);
+        for i in 0..n - 1 {
+            let _ = i;
+            temps.push(self.supply.fresh("spec"));
+        }
+        temps.push(v);
+        // Each op may refer to the previous temp via the placeholder
+        // Atom::Var(u32::MAX); patch as we fold right-to-left.
+        for (i, mut op) in ops.into_iter().enumerate().rev() {
+            if i > 0 {
+                let prev = temps[i - 1];
+                op.for_each_atom_shallow_mut(&mut |a| {
+                    if *a == Atom::Var(u32::MAX) {
+                        *a = Atom::Var(prev);
+                    }
+                });
+            }
+            out = Expr::Let(temps[i], op, Box::new(out));
+        }
+        out
+    }
+
+    /// Attempts to specialize one rep prim; returns the replacement chain
+    /// (last op binds the result) or `None` to keep the generic form.
+    fn specialize(&mut self, op: PrimOp, args: &[Atom]) -> Option<Vec<Bound>> {
+        use PrimOp::*;
+        let Some(Atom::Lit(Literal::Rep(rid))) = args.first() else { return None };
+        let rid = *rid;
+        let info = self.registry.info(rid);
+        let prev = || Atom::Var(u32::MAX); // placeholder for previous temp
+        match (op, &info.kind) {
+            (RepInject, RepKind::Immediate { tag, shift, .. }) => {
+                let (tag, shift) = (*tag as i64, *shift as i64);
+                let w = args[1].clone();
+                if shift == 0 && tag == 0 {
+                    return Some(vec![Bound::Atom(w)]);
+                }
+                let mut ops = vec![Bound::Prim(WordShl, vec![w, raw(shift)])];
+                if tag != 0 {
+                    ops.push(Bound::Prim(WordOr, vec![prev(), raw(tag)]));
+                }
+                Some(ops)
+            }
+            (RepProject, RepKind::Immediate { tag_bits, tag, shift }) => {
+                self.assume_tag(&args[1], *tag_bits, *tag);
+                Some(vec![Bound::Prim(WordShr, vec![args[1].clone(), raw(*shift as i64)])])
+            }
+            (RepTest, RepKind::Immediate { tag_bits, tag, .. }) => {
+                let mask = (1i64 << tag_bits) - 1;
+                Some(vec![
+                    Bound::Prim(WordAnd, vec![args[1].clone(), raw(mask)]),
+                    Bound::Prim(WordEq, vec![prev(), raw(*tag as i64)]),
+                ])
+            }
+            (RepTest, RepKind::Pointer { tag, discriminated }) => {
+                let mut ops = vec![
+                    Bound::Prim(WordAnd, vec![args[1].clone(), raw(7)]),
+                    Bound::Prim(WordEq, vec![prev(), raw(*tag as i64)]),
+                ];
+                if *discriminated {
+                    // Guarded header check: only dereference when the tag
+                    // matched.
+                    let h = self.supply.fresh("hdr");
+                    let t2 = self.supply.fresh("tid");
+                    let c2 = self.supply.fresh("tideq");
+                    let then = Expr::Let(
+                        h,
+                        Bound::Prim(SpecHeader(rid), vec![args[1].clone()]),
+                        Box::new(Expr::Let(
+                            t2,
+                            Bound::Prim(WordAnd, vec![Atom::Var(h), raw(0xFFFF)]),
+                            Box::new(Expr::Let(
+                                c2,
+                                Bound::Prim(WordEq, vec![Atom::Var(t2), raw(rid as i64)]),
+                                Box::new(Expr::Ret(Atom::Var(c2))),
+                            )),
+                        )),
+                    );
+                    ops.push(Bound::If(
+                        Test::NonZero(prev()),
+                        Box::new(then),
+                        Box::new(Expr::Ret(raw(0))),
+                    ));
+                }
+                Some(ops)
+            }
+            (RepAlloc, RepKind::Pointer { .. }) => {
+                Some(vec![Bound::Prim(SpecAlloc(rid), vec![args[1].clone(), args[2].clone()])])
+            }
+            (RepRef, RepKind::Pointer { tag, .. }) => {
+                self.assume_tag(&args[1], 3, *tag);
+                match &args[2] {
+                    Atom::Lit(Literal::Raw(k)) => Some(vec![Bound::Prim(
+                        SpecRef(rid),
+                        vec![args[1].clone(), raw(k * 8)],
+                    )]),
+                    idx => Some(vec![
+                        Bound::Prim(WordShl, vec![idx.clone(), raw(3)]),
+                        Bound::Prim(SpecRef(rid), vec![args[1].clone(), prev()]),
+                    ]),
+                }
+            }
+            (RepSet, RepKind::Pointer { tag, .. }) => {
+                self.assume_tag(&args[1], 3, *tag);
+                match &args[2] {
+                    Atom::Lit(Literal::Raw(k)) => Some(vec![Bound::Prim(
+                        SpecSet(rid),
+                        vec![args[1].clone(), raw(k * 8), args[3].clone()],
+                    )]),
+                    idx => Some(vec![
+                        Bound::Prim(WordShl, vec![idx.clone(), raw(3)]),
+                        Bound::Prim(
+                            SpecSet(rid),
+                            vec![args[1].clone(), prev(), args[3].clone()],
+                        ),
+                    ]),
+                }
+            }
+            (RepLen, RepKind::Pointer { tag, .. }) => {
+                self.assume_tag(&args[1], 3, *tag);
+                Some(vec![
+                    Bound::Prim(SpecHeader(rid), vec![args[1].clone()]),
+                    Bound::Prim(WordShr, vec![prev(), raw(16)]),
+                ])
+            }
+            _ => None,
+        }
+    }
+
+    fn walk(&mut self, e: Expr) -> Expr {
+        match e {
+            Expr::Let(v, Bound::Prim(op, args), body) => {
+                let body = self.walk(*body);
+                self.pending = None;
+                match self.specialize(op, &args) {
+                    Some(ops) => {
+                        if let Some((subject, bits, tag)) = self.pending.take() {
+                            self.assume.insert(v, (subject, bits, tag));
+                        }
+                        self.chain(v, ops, body)
+                    }
+                    None => Expr::Let(v, Bound::Prim(op, args), Box::new(body)),
+                }
+            }
+            Expr::Let(v, b, body) => {
+                let b = match b {
+                    Bound::Lambda(mut f) => {
+                        f.body = Box::new(self.walk(*f.body));
+                        Bound::Lambda(f)
+                    }
+                    Bound::If(t, a, b2) => Bound::If(
+                        t,
+                        Box::new(self.walk(*a)),
+                        Box::new(self.walk(*b2)),
+                    ),
+                    Bound::Body(inner) => Bound::Body(Box::new(self.walk(*inner))),
+                    other => other,
+                };
+                Expr::Let(v, b, Box::new(self.walk(*body)))
+            }
+            Expr::If(t, a, b) => {
+                Expr::If(t, Box::new(self.walk(*a)), Box::new(self.walk(*b)))
+            }
+            Expr::LetRec(binds, body) => Expr::LetRec(
+                binds
+                    .into_iter()
+                    .map(|(v, mut f)| {
+                        f.body = Box::new(self.walk(*f.body));
+                        (v, f)
+                    })
+                    .collect(),
+                Box::new(self.walk(*body)),
+            ),
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> (RepRegistry, RepId, RepId) {
+        let mut reg = RepRegistry::new();
+        let fx = reg.intern_immediate("fixnum", 3, 0, 3).unwrap();
+        let pair = reg.intern_pointer("pair", 1, false).unwrap();
+        (reg, fx, pair)
+    }
+
+    fn spec_one(op: PrimOp, args: Vec<Atom>) -> Expr {
+        let (reg, _, _) = registry();
+        let mut supply = NameSupply::from_names(vec!["v".into(); 300]);
+        let e = Expr::Let(10, Bound::Prim(op, args), Box::new(Expr::Ret(Atom::Var(10))));
+        let (out, _) = repspec(e, &reg, &mut supply);
+        out
+    }
+
+    #[test]
+    fn project_becomes_shift_with_assumption() {
+        let (reg, fx, _) = registry();
+        let mut supply = NameSupply::from_names(vec!["v".into(); 300]);
+        let e = Expr::Let(
+            10,
+            Bound::Prim(PrimOp::RepProject, vec![Atom::Lit(Literal::Rep(fx)), Atom::Var(5)]),
+            Box::new(Expr::Ret(Atom::Var(10))),
+        );
+        let (out, assume) = repspec(e, &reg, &mut supply);
+        assert!(matches!(out, Expr::Let(10, Bound::Prim(PrimOp::WordShr, _), _)));
+        // Keyed by the binding (v10) and naming the subject (v5).
+        assert_eq!(assume.get(&10), Some(&(5, 3, 0)));
+    }
+
+    #[test]
+    fn inject_fixnum_is_single_shift() {
+        let (_, fx, _) = registry();
+        let e = spec_one(PrimOp::RepInject, vec![Atom::Lit(Literal::Rep(fx)), Atom::Var(5)]);
+        // tag 0: shift only, bound directly to the result var.
+        assert!(matches!(e, Expr::Let(10, Bound::Prim(PrimOp::WordShl, _), _)));
+    }
+
+    #[test]
+    fn ref_with_constant_index_is_single_specref() {
+        let (_, _, pair) = registry();
+        let e = spec_one(
+            PrimOp::RepRef,
+            vec![Atom::Lit(Literal::Rep(pair)), Atom::Var(5), raw(1)],
+        );
+        match e {
+            Expr::Let(10, Bound::Prim(PrimOp::SpecRef(_), args), _) => {
+                assert_eq!(args[1], raw(8), "byte offset");
+            }
+            other => panic!("expected spec-ref, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ref_with_variable_index_shifts_then_loads() {
+        let (_, _, pair) = registry();
+        let e = spec_one(
+            PrimOp::RepRef,
+            vec![Atom::Lit(Literal::Rep(pair)), Atom::Var(5), Atom::Var(6)],
+        );
+        let Expr::Let(t, Bound::Prim(PrimOp::WordShl, _), rest) = e else {
+            panic!("expected shl first")
+        };
+        match *rest {
+            Expr::Let(10, Bound::Prim(PrimOp::SpecRef(_), args), _) => {
+                assert_eq!(args[1], Atom::Var(t));
+            }
+            other => panic!("expected spec-ref, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn test_on_pointer_is_and_cmp() {
+        let (_, _, pair) = registry();
+        let e = spec_one(PrimOp::RepTest, vec![Atom::Lit(Literal::Rep(pair)), Atom::Var(5)]);
+        let Expr::Let(_, Bound::Prim(PrimOp::WordAnd, _), rest) = e else { panic!() };
+        assert!(matches!(*rest, Expr::Let(10, Bound::Prim(PrimOp::WordEq, _), _)));
+    }
+
+    #[test]
+    fn discriminated_test_guards_header_load() {
+        let mut reg = RepRegistry::new();
+        reg.intern_immediate("fixnum", 3, 0, 3).unwrap();
+        let rec = reg.intern_pointer("point", 4, true).unwrap();
+        let mut supply = NameSupply::from_names(vec!["v".into(); 300]);
+        let e = Expr::Let(
+            10,
+            Bound::Prim(PrimOp::RepTest, vec![Atom::Lit(Literal::Rep(rec)), Atom::Var(5)]),
+            Box::new(Expr::Ret(Atom::Var(10))),
+        );
+        let (out, _) = repspec(e, &reg, &mut supply);
+        fn has_guarded_header(e: &Expr) -> bool {
+            match e {
+                Expr::Let(_, Bound::If(_, t, _), body) => {
+                    fn has_header(e: &Expr) -> bool {
+                        matches!(e, Expr::Let(_, Bound::Prim(PrimOp::SpecHeader(_), _), _))
+                    }
+                    has_header(t) || has_guarded_header(body)
+                }
+                Expr::Let(_, _, body) => has_guarded_header(body),
+                _ => false,
+            }
+        }
+        assert!(has_guarded_header(&out));
+    }
+
+    #[test]
+    fn generic_stays_when_rep_unknown() {
+        let e = spec_one(PrimOp::RepProject, vec![Atom::Var(4), Atom::Var(5)]);
+        assert!(matches!(e, Expr::Let(10, Bound::Prim(PrimOp::RepProject, _), _)));
+    }
+
+    #[test]
+    fn pointer_inject_stays_generic() {
+        let (_, _, pair) = registry();
+        let e = spec_one(PrimOp::RepInject, vec![Atom::Lit(Literal::Rep(pair)), Atom::Var(5)]);
+        assert!(matches!(e, Expr::Let(10, Bound::Prim(PrimOp::RepInject, _), _)));
+    }
+}

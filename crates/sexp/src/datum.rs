@@ -1,0 +1,170 @@
+//! The external representation of Scheme data: the [`Datum`] tree.
+
+use std::fmt;
+
+/// A parsed S-expression.
+///
+/// `Datum` is a *syntactic* value: it is what the reader produces and what
+/// `quote` forms denote.  Runtime values live in the VM and have
+/// library-defined representations; `Datum` deliberately stays a plain Rust
+/// tree so that the front end can pattern-match on it.
+///
+/// Proper lists are kept as `List(Vec<Datum>)` rather than nested pairs; this
+/// makes the macro expander's job (matching special forms) direct.  Dotted
+/// pairs use [`Datum::Improper`].
+///
+/// # Example
+///
+/// ```
+/// use sxr_sexp::Datum;
+/// let d = Datum::List(vec![Datum::Symbol("+".into()), Datum::Fixnum(1), Datum::Fixnum(2)]);
+/// assert_eq!(d.to_string(), "(+ 1 2)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Datum {
+    /// An identifier, e.g. `car` or `%word+`.
+    Symbol(String),
+    /// An exact integer literal. Only fixnums are supported by the system.
+    Fixnum(i64),
+    /// `#t` or `#f`.
+    Bool(bool),
+    /// A character literal, e.g. `#\a`, `#\space`.
+    Char(char),
+    /// A string literal.
+    String(String),
+    /// A proper list `(a b c)`; `()` is the empty list.
+    List(Vec<Datum>),
+    /// An improper (dotted) list `(a b . c)`. The vector is non-empty and the
+    /// tail is never itself a list (the parser normalizes).
+    Improper(Vec<Datum>, Box<Datum>),
+    /// A vector literal `#(a b c)`.
+    Vector(Vec<Datum>),
+}
+
+impl Datum {
+    /// The canonical empty list `()`.
+    pub fn nil() -> Datum {
+        Datum::List(Vec::new())
+    }
+
+    /// Returns the symbol name if this datum is a symbol.
+    pub fn as_symbol(&self) -> Option<&str> {
+        match self {
+            Datum::Symbol(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the list elements if this datum is a proper list.
+    pub fn as_list(&self) -> Option<&[Datum]> {
+        match self {
+            Datum::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True if this is the empty list.
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Datum::List(items) if items.is_empty())
+    }
+
+    /// True if this datum is a proper list whose head is the given symbol.
+    ///
+    /// This is the shape test used throughout the macro expander:
+    /// `d.is_form("define")` recognizes `(define ...)`.
+    pub fn is_form(&self, head: &str) -> bool {
+        match self {
+            Datum::List(items) => items.first().and_then(Datum::as_symbol) == Some(head),
+            _ => false,
+        }
+    }
+
+    /// Builds a proper list datum from a head symbol and arguments.
+    pub fn form(head: &str, mut args: Vec<Datum>) -> Datum {
+        let mut items = Vec::with_capacity(args.len() + 1);
+        items.push(Datum::Symbol(head.to_string()));
+        items.append(&mut args);
+        Datum::List(items)
+    }
+
+    /// Builds `(quote d)`.
+    pub fn quoted(d: Datum) -> Datum {
+        Datum::form("quote", vec![d])
+    }
+
+    /// Number of immediate sub-data (for size heuristics in tests/tools).
+    pub fn len(&self) -> usize {
+        match self {
+            Datum::List(items) | Datum::Vector(items) => items.len(),
+            Datum::Improper(items, _) => items.len() + 1,
+            _ => 0,
+        }
+    }
+
+    /// True for atoms and the empty list/vector.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for Datum {
+    /// Formats with `write` (machine-readable) conventions.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::printer::fmt_datum(self, f, true)
+    }
+}
+
+impl From<i64> for Datum {
+    fn from(n: i64) -> Datum {
+        Datum::Fixnum(n)
+    }
+}
+
+impl From<bool> for Datum {
+    fn from(b: bool) -> Datum {
+        Datum::Bool(b)
+    }
+}
+
+impl From<&str> for Datum {
+    /// Symbols are the most common datum built from literals in the front
+    /// end, so `From<&str>` produces a symbol (not a string literal).
+    fn from(s: &str) -> Datum {
+        Datum::Symbol(s.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nil_is_empty_list() {
+        assert!(Datum::nil().is_nil());
+        assert_eq!(Datum::nil(), Datum::List(vec![]));
+    }
+
+    #[test]
+    fn form_recognition() {
+        let d = Datum::form("define", vec![Datum::from("x"), Datum::Fixnum(1)]);
+        assert!(d.is_form("define"));
+        assert!(!d.is_form("lambda"));
+        assert!(!Datum::Fixnum(3).is_form("define"));
+        assert!(!Datum::nil().is_form("define"));
+    }
+
+    #[test]
+    fn as_accessors() {
+        assert_eq!(Datum::from("abc").as_symbol(), Some("abc"));
+        assert_eq!(Datum::Fixnum(1).as_symbol(), None);
+        assert_eq!(Datum::nil().as_list(), Some(&[][..]));
+        assert_eq!(Datum::Bool(true).as_list(), None);
+    }
+
+    #[test]
+    fn quoted_wraps() {
+        let q = Datum::quoted(Datum::Fixnum(42));
+        assert!(q.is_form("quote"));
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,313 @@
+//! Datum parser built on top of the [`Lexer`].
+
+use crate::datum::Datum;
+use crate::error::{ParseError, ParseErrorKind, Span};
+use crate::lexer::{Lexer, Token, TokenKind};
+
+/// A pull parser producing [`Datum`] values from source text.
+///
+/// # Example
+///
+/// ```
+/// use sxr_sexp::Parser;
+/// let mut p = Parser::new("1 (2 . 3) #(4)");
+/// assert_eq!(p.next_datum().unwrap().unwrap().to_string(), "1");
+/// assert_eq!(p.next_datum().unwrap().unwrap().to_string(), "(2 . 3)");
+/// assert_eq!(p.next_datum().unwrap().unwrap().to_string(), "#(4)");
+/// assert!(p.next_datum().unwrap().is_none());
+/// ```
+#[derive(Debug)]
+pub struct Parser<'a> {
+    lexer: Lexer<'a>,
+    lookahead: Option<Token>,
+}
+
+impl<'a> Parser<'a> {
+    /// Creates a parser over `src`.
+    pub fn new(src: &'a str) -> Parser<'a> {
+        Parser { lexer: Lexer::new(src), lookahead: None }
+    }
+
+    fn next_tok(&mut self) -> Result<Option<Token>, ParseError> {
+        if let Some(t) = self.lookahead.take() {
+            return Ok(Some(t));
+        }
+        self.lexer.next_token()
+    }
+
+    fn put_back(&mut self, t: Token) {
+        debug_assert!(self.lookahead.is_none(), "single-token lookahead");
+        self.lookahead = Some(t);
+    }
+
+    /// Reads the next datum, or `None` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed input.
+    pub fn next_datum(&mut self) -> Result<Option<Datum>, ParseError> {
+        loop {
+            let tok = match self.next_tok()? {
+                Some(t) => t,
+                None => return Ok(None),
+            };
+            match tok.kind {
+                TokenKind::DatumComment => {
+                    // Read and discard one datum.
+                    let span = tok.span;
+                    match self.next_datum()? {
+                        Some(_) => continue,
+                        None => return Err(ParseError::new(ParseErrorKind::UnexpectedEof, span)),
+                    }
+                }
+                _ => return self.datum_from(tok).map(Some),
+            }
+        }
+    }
+
+    fn expect_datum(&mut self, at: Span) -> Result<Datum, ParseError> {
+        match self.next_datum()? {
+            Some(d) => Ok(d),
+            None => Err(ParseError::new(ParseErrorKind::UnexpectedEof, at)),
+        }
+    }
+
+    fn datum_from(&mut self, tok: Token) -> Result<Datum, ParseError> {
+        match tok.kind {
+            TokenKind::Fixnum(n) => Ok(Datum::Fixnum(n)),
+            TokenKind::Bool(b) => Ok(Datum::Bool(b)),
+            TokenKind::Char(c) => Ok(Datum::Char(c)),
+            TokenKind::Str(s) => Ok(Datum::String(s)),
+            TokenKind::Symbol(s) => Ok(Datum::Symbol(s)),
+            TokenKind::Quote => {
+                let d = self.expect_datum(tok.span)?;
+                Ok(Datum::quoted(d))
+            }
+            TokenKind::Quasiquote => {
+                let d = self.expect_datum(tok.span)?;
+                Ok(Datum::form("quasiquote", vec![d]))
+            }
+            TokenKind::Unquote => {
+                let d = self.expect_datum(tok.span)?;
+                Ok(Datum::form("unquote", vec![d]))
+            }
+            TokenKind::UnquoteSplicing => {
+                let d = self.expect_datum(tok.span)?;
+                Ok(Datum::form("unquote-splicing", vec![d]))
+            }
+            TokenKind::LParen => self.finish_list(tok.span),
+            TokenKind::VecOpen => self.finish_vector(tok.span),
+            TokenKind::RParen => Err(ParseError::new(ParseErrorKind::UnbalancedClose, tok.span)),
+            TokenKind::Dot => Err(ParseError::new(ParseErrorKind::MisplacedDot, tok.span)),
+            TokenKind::DatumComment => unreachable!("handled by next_datum"),
+        }
+    }
+
+    fn finish_list(&mut self, open: Span) -> Result<Datum, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            let tok = match self.next_tok()? {
+                Some(t) => t,
+                None => return Err(ParseError::new(ParseErrorKind::UnexpectedEof, open)),
+            };
+            match tok.kind {
+                TokenKind::RParen => return Ok(Datum::List(items)),
+                TokenKind::Dot => {
+                    if items.is_empty() {
+                        return Err(ParseError::new(ParseErrorKind::MisplacedDot, tok.span));
+                    }
+                    let tail = self.expect_datum(tok.span)?;
+                    let close = match self.next_tok()? {
+                        Some(t) => t,
+                        None => return Err(ParseError::new(ParseErrorKind::UnexpectedEof, open)),
+                    };
+                    if close.kind != TokenKind::RParen {
+                        return Err(ParseError::new(ParseErrorKind::MisplacedDot, close.span));
+                    }
+                    // Normalize (a . (b c)) to (a b c), and (a . (b . c)) to (a b . c).
+                    return Ok(match tail {
+                        Datum::List(rest) => {
+                            items.extend(rest);
+                            Datum::List(items)
+                        }
+                        Datum::Improper(mid, t) => {
+                            items.extend(mid);
+                            Datum::Improper(items, t)
+                        }
+                        atom => Datum::Improper(items, Box::new(atom)),
+                    });
+                }
+                TokenKind::DatumComment => {
+                    self.expect_datum(tok.span)?;
+                }
+                _ => {
+                    self.put_back(tok);
+                    let at = open;
+                    items.push(self.expect_datum(at)?);
+                }
+            }
+        }
+    }
+
+    fn finish_vector(&mut self, open: Span) -> Result<Datum, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            let tok = match self.next_tok()? {
+                Some(t) => t,
+                None => return Err(ParseError::new(ParseErrorKind::UnexpectedEof, open)),
+            };
+            match tok.kind {
+                TokenKind::RParen => return Ok(Datum::Vector(items)),
+                TokenKind::Dot => {
+                    return Err(ParseError::new(ParseErrorKind::MisplacedDot, tok.span))
+                }
+                TokenKind::DatumComment => {
+                    self.expect_datum(tok.span)?;
+                }
+                _ => {
+                    self.put_back(tok);
+                    items.push(self.expect_datum(open)?);
+                }
+            }
+        }
+    }
+}
+
+/// Parses every datum in `src`.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+///
+/// # Example
+///
+/// ```
+/// let all = sxr_sexp::parse_all("(a) (b)").unwrap();
+/// assert_eq!(all.len(), 2);
+/// ```
+pub fn parse_all(src: &str) -> Result<Vec<Datum>, ParseError> {
+    let mut p = Parser::new(src);
+    let mut out = Vec::new();
+    while let Some(d) = p.next_datum()? {
+        out.push(d);
+    }
+    Ok(out)
+}
+
+/// Parses exactly one datum; trailing data is an error.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if `src` is empty, malformed, or contains more
+/// than one datum.
+pub fn parse_one(src: &str) -> Result<Datum, ParseError> {
+    let mut p = Parser::new(src);
+    let first = p
+        .next_datum()?
+        .ok_or_else(|| ParseError::new(ParseErrorKind::UnexpectedEof, Span::default()))?;
+    if p.next_datum()?.is_some() {
+        return Err(ParseError::new(
+            ParseErrorKind::BadToken("trailing data after datum".to_string()),
+            Span::default(),
+        ));
+    }
+    Ok(first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(src: &str) -> Datum {
+        parse_one(src).unwrap()
+    }
+
+    #[test]
+    fn atoms() {
+        assert_eq!(p("42"), Datum::Fixnum(42));
+        assert_eq!(p("#t"), Datum::Bool(true));
+        assert_eq!(p("#\\x"), Datum::Char('x'));
+        assert_eq!(p("\"hi\""), Datum::String("hi".into()));
+        assert_eq!(p("foo"), Datum::Symbol("foo".into()));
+    }
+
+    #[test]
+    fn lists() {
+        assert_eq!(p("()"), Datum::nil());
+        assert_eq!(p("(1 2 3)"), Datum::List(vec![1.into(), 2.into(), 3.into()]));
+        assert_eq!(
+            p("(1 (2) 3)"),
+            Datum::List(vec![1.into(), Datum::List(vec![2.into()]), 3.into()])
+        );
+    }
+
+    #[test]
+    fn dotted() {
+        assert_eq!(p("(1 . 2)"), Datum::Improper(vec![1.into()], Box::new(2.into())));
+        // (1 . (2 3)) normalizes to a proper list.
+        assert_eq!(p("(1 . (2 3))"), p("(1 2 3)"));
+        // (1 . (2 . 3)) normalizes to (1 2 . 3).
+        assert_eq!(p("(1 . (2 . 3))"), Datum::Improper(vec![1.into(), 2.into()], Box::new(3.into())));
+    }
+
+    #[test]
+    fn vectors() {
+        assert_eq!(p("#(1 2)"), Datum::Vector(vec![1.into(), 2.into()]));
+        assert_eq!(p("#()"), Datum::Vector(vec![]));
+    }
+
+    #[test]
+    fn quote_sugar() {
+        assert_eq!(p("'x"), Datum::quoted("x".into()));
+        assert_eq!(p("`(a ,b ,@c)").to_string(), "(quasiquote (a (unquote b) (unquote-splicing c)))");
+    }
+
+    #[test]
+    fn datum_comment_everywhere() {
+        assert_eq!(p("(1 #;(skip me) 2)"), p("(1 2)"));
+        assert_eq!(parse_all("#;1 2").unwrap(), vec![Datum::Fixnum(2)]);
+        assert_eq!(p("#(1 #;2 3)"), p("#(1 3)"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_one("(").is_err());
+        assert!(parse_one(")").is_err());
+        assert!(parse_one("(. 2)").is_err());
+        assert!(parse_one("(1 . 2 3)").is_err());
+        assert!(parse_one("#(1 . 2)").is_err());
+        assert!(parse_one("").is_err());
+        assert!(parse_one("1 2").is_err());
+        assert!(parse_one("'").is_err());
+    }
+
+    #[test]
+    fn parse_all_streams() {
+        let all = parse_all("1 (a) \"s\"").unwrap();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let mut src = String::new();
+        let depth = 200;
+        for _ in 0..depth {
+            src.push('(');
+        }
+        src.push('x');
+        for _ in 0..depth {
+            src.push(')');
+        }
+        let mut d = p(&src);
+        for _ in 0..depth {
+            match d {
+                Datum::List(mut items) => {
+                    assert_eq!(items.len(), 1);
+                    d = items.pop().expect("one item");
+                }
+                _ => panic!("expected list"),
+            }
+        }
+        assert_eq!(d, Datum::Symbol("x".into()));
+    }
+}

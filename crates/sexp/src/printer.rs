@@ -1,0 +1,151 @@
+//! Writers for [`Datum`]: `write` (read-back) and `display` (human) styles.
+
+use crate::datum::Datum;
+use std::fmt::{self, Write as _};
+
+/// Formats `d` in `write` style: strings are quoted/escaped, characters use
+/// `#\` notation. The output reads back as an equal datum.
+///
+/// # Example
+///
+/// ```
+/// use sxr_sexp::{write_datum, Datum};
+/// assert_eq!(write_datum(&Datum::String("hi".into())), "\"hi\"");
+/// ```
+pub fn write_datum(d: &Datum) -> String {
+    Display(d, true).to_string()
+}
+
+/// Internal shared formatter. `machine` selects `write` (true) vs `display`.
+pub(crate) fn fmt_datum(d: &Datum, f: &mut fmt::Formatter<'_>, machine: bool) -> fmt::Result {
+    match d {
+        Datum::Symbol(s) => f.write_str(s),
+        Datum::Fixnum(n) => write!(f, "{n}"),
+        Datum::Bool(true) => f.write_str("#t"),
+        Datum::Bool(false) => f.write_str("#f"),
+        Datum::Char(c) => {
+            if machine {
+                match c {
+                    ' ' => f.write_str("#\\space"),
+                    '\n' => f.write_str("#\\newline"),
+                    '\t' => f.write_str("#\\tab"),
+                    '\r' => f.write_str("#\\return"),
+                    '\0' => f.write_str("#\\nul"),
+                    c => write!(f, "#\\{c}"),
+                }
+            } else {
+                f.write_char(*c)
+            }
+        }
+        Datum::String(s) => {
+            if machine {
+                f.write_char('"')?;
+                for c in s.chars() {
+                    match c {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        '\n' => f.write_str("\\n")?,
+                        '\t' => f.write_str("\\t")?,
+                        '\r' => f.write_str("\\r")?,
+                        '\0' => f.write_str("\\0")?,
+                        c => f.write_char(c)?,
+                    }
+                }
+                f.write_char('"')
+            } else {
+                f.write_str(s)
+            }
+        }
+        Datum::List(items) => {
+            f.write_char('(')?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_char(' ')?;
+                }
+                fmt_datum(item, f, machine)?;
+            }
+            f.write_char(')')
+        }
+        Datum::Improper(items, tail) => {
+            f.write_char('(')?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_char(' ')?;
+                }
+                fmt_datum(item, f, machine)?;
+            }
+            f.write_str(" . ")?;
+            fmt_datum(tail, f, machine)?;
+            f.write_char(')')
+        }
+        Datum::Vector(items) => {
+            f.write_str("#(")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_char(' ')?;
+                }
+                fmt_datum(item, f, machine)?;
+            }
+            f.write_char(')')
+        }
+    }
+}
+
+struct Display<'a>(&'a Datum, bool);
+
+impl fmt::Display for Display<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_datum(self.0, f, self.1)
+    }
+}
+
+/// Renders `d` in `display` style: strings raw, characters bare.
+///
+/// # Example
+///
+/// ```
+/// use sxr_sexp::{display_datum, Datum};
+/// assert_eq!(display_datum(&Datum::String("hi".into())), "hi");
+/// assert_eq!(Datum::String("hi".into()).to_string(), "\"hi\"");
+/// ```
+pub fn display_datum(d: &Datum) -> String {
+    Display(d, false).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_one;
+
+    #[test]
+    fn write_roundtrips() {
+        for src in [
+            "(a b c)",
+            "(1 . 2)",
+            "#(1 #t #\\a)",
+            "\"a\\nb\"",
+            "(quote (x . (y . ())))",
+            "()",
+            "(a (b (c)) . d)",
+        ] {
+            let d = parse_one(src).unwrap();
+            let printed = d.to_string();
+            let d2 = parse_one(&printed).unwrap();
+            assert_eq!(d, d2, "roundtrip failed for {src} -> {printed}");
+        }
+    }
+
+    #[test]
+    fn display_is_human() {
+        assert_eq!(display_datum(&Datum::Char('x')), "x");
+        assert_eq!(display_datum(&Datum::String("a\"b".into())), "a\"b");
+        assert_eq!(display_datum(&parse_one("(1 \"s\")").unwrap()), "(1 s)");
+    }
+
+    #[test]
+    fn named_chars_write_readably() {
+        assert_eq!(Datum::Char(' ').to_string(), "#\\space");
+        assert_eq!(Datum::Char('\n').to_string(), "#\\newline");
+        assert_eq!(parse_one("#\\space").unwrap(), Datum::Char(' '));
+    }
+}

@@ -1,0 +1,69 @@
+//! Property test: printing any datum and re-parsing it yields an equal datum.
+
+use proptest::prelude::*;
+use sxr_sexp::{parse_one, Datum};
+
+fn arb_symbol() -> impl Strategy<Value = String> {
+    // Symbols that the lexer accepts and that are not number-shaped.
+    "[a-zA-Z%!?*<>=_+-][a-zA-Z0-9%!?*<>=_+-]{0,8}".prop_filter("not number-shaped or dot", |s| {
+        s != "." && s.parse::<i64>().is_err() && !s.starts_with('#')
+    })
+}
+
+fn arb_char() -> impl Strategy<Value = char> {
+    prop_oneof![
+        any::<char>().prop_filter("printable non-ws", |c| !c.is_whitespace() && !c.is_control()),
+        Just(' '),
+        Just('\n'),
+        Just('\t'),
+    ]
+}
+
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![Just('a'), Just('"'), Just('\\'), Just('\n'), Just('\t'), Just('π'), Just(' ')],
+        0..12,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn arb_datum() -> impl Strategy<Value = Datum> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Datum::Fixnum),
+        any::<bool>().prop_map(Datum::Bool),
+        arb_char().prop_map(Datum::Char),
+        arb_string().prop_map(Datum::String),
+        arb_symbol().prop_map(Datum::Symbol),
+    ];
+    leaf.prop_recursive(4, 48, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Datum::List),
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Datum::Vector),
+            (proptest::collection::vec(inner.clone(), 1..4), inner.clone()).prop_map(|(items, tail)| {
+                // Keep the improper invariant: the tail is never a list.
+                match tail {
+                    Datum::List(rest) => {
+                        let mut all = items;
+                        all.extend(rest);
+                        Datum::List(all)
+                    }
+                    Datum::Improper(mid, t) => {
+                        let mut all = items;
+                        all.extend(mid);
+                        Datum::Improper(all, t)
+                    }
+                    atom => Datum::Improper(items, Box::new(atom)),
+                }
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn print_parse_roundtrip(d in arb_datum()) {
+        let text = d.to_string();
+        let back = parse_one(&text).unwrap_or_else(|e| panic!("failed to reparse {text}: {e}"));
+        prop_assert_eq!(d, back);
+    }
+}

@@ -1,0 +1,76 @@
+//! Dynamic execution counters — the measurement substrate for Tables 2–3.
+
+use crate::inst::InstClass;
+use std::collections::HashMap;
+
+/// Execution statistics. Instruction counts are deterministic (independent
+/// of heap size and GC schedule); GC work is reported separately.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Total instructions executed.
+    pub total: u64,
+    /// Breakdown by [`InstClass`].
+    pub by_class: HashMap<InstClass, u64>,
+    /// Words allocated (including headers).
+    pub allocated_words: u64,
+    /// Number of objects allocated.
+    pub allocated_objects: u64,
+    /// Garbage collections performed.
+    pub gc_count: u64,
+    /// Words copied by the collector (survivors).
+    pub gc_copied_words: u64,
+    /// Calls performed (direct + indirect, including tail calls).
+    pub calls: u64,
+}
+
+impl Counters {
+    /// Resets everything to zero.
+    pub fn reset(&mut self) {
+        *self = Counters::default();
+    }
+
+    /// Count one executed instruction of the given class.
+    #[inline]
+    pub fn count(&mut self, class: InstClass) {
+        self.total += 1;
+        *self.by_class.entry(class).or_insert(0) += 1;
+    }
+
+    /// Count of a specific class.
+    pub fn class(&self, c: InstClass) -> u64 {
+        self.by_class.get(&c).copied().unwrap_or(0)
+    }
+
+    /// One-line summary for reports.
+    pub fn summary(&self) -> String {
+        let mut parts = vec![format!("total={}", self.total)];
+        for c in InstClass::ALL {
+            let n = self.class(c);
+            if n > 0 {
+                parts.push(format!("{}={}", c.label(), n));
+            }
+        }
+        parts.push(format!("alloc-words={}", self.allocated_words));
+        parts.push(format!("gcs={}", self.gc_count));
+        parts.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_reset() {
+        let mut c = Counters::default();
+        c.count(InstClass::Arith);
+        c.count(InstClass::Arith);
+        c.count(InstClass::Branch);
+        assert_eq!(c.total, 3);
+        assert_eq!(c.class(InstClass::Arith), 2);
+        assert_eq!(c.class(InstClass::Call), 0);
+        assert!(c.summary().contains("alu=2"));
+        c.reset();
+        assert_eq!(c.total, 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Runtime errors.
+
+use std::fmt;
+
+/// Why execution stopped abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmErrorKind {
+    /// Application of a value that is not a procedure.
+    NotAProcedure,
+    /// Call with the wrong number of arguments.
+    ArityMismatch,
+    /// Memory access outside the allocated heap.
+    BadMemoryAccess,
+    /// Division or remainder by zero.
+    DivideByZero,
+    /// A generic representation operation applied to unsuitable operands.
+    BadRepOperation,
+    /// `(%error v)` was evaluated; carries the description of `v`.
+    SchemeError,
+    /// A structural problem in the loaded program (bad ids, missing roles).
+    BadProgram,
+    /// The configured instruction budget was exhausted (used by tests to
+    /// bound runaway programs).
+    Timeout,
+}
+
+/// A runtime error with context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmError {
+    /// The failure category.
+    pub kind: VmErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl VmError {
+    /// Creates an error.
+    pub fn new(kind: VmErrorKind, message: impl Into<String>) -> VmError {
+        VmError { kind, message: message.into() }
+    }
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm error: {}", self.message)
+    }
+}
+
+impl std::error::Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = VmError::new(VmErrorKind::DivideByZero, "quotient by zero");
+        assert_eq!(e.to_string(), "vm error: quotient by zero");
+    }
+}

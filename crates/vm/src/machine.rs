@@ -1,0 +1,833 @@
+//! The interpreter: loads a [`CodeProgram`], runs it, counts everything.
+
+use crate::counters::Counters;
+use crate::encode;
+use crate::error::{VmError, VmErrorKind};
+use crate::heap::{header_len, header_type, Heap, Word};
+use crate::inst::{BinOp, CmpOp, CodeProgram, Inst, PoolEntry, Reg, RegImm, RepVmOp};
+use std::collections::HashMap;
+use std::rc::Rc;
+use sxr_ir::rep::{roles, RepId, RepKind, RepRegistry};
+
+/// Tuning knobs for a [`Machine`].
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Initial heap size in words (grows on demand).
+    pub heap_words: usize,
+    /// Abort with [`VmErrorKind::Timeout`] after this many instructions.
+    pub instruction_limit: Option<u64>,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig { heap_words: 1 << 20, instruction_limit: None }
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    fnid: u32,
+    pc: usize,
+    regs: Vec<Word>,
+    ret_dst: Reg,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RoleCache {
+    fixnum: RepId,
+    closure: RepId,
+    false_word: Word,
+    unspec_word: Word,
+    reg_init: Word,
+}
+
+/// A loaded program plus all mutable run-time state.
+///
+/// # Example
+///
+/// See the crate-level documentation; machines are normally produced by the
+/// `sxr` pipeline rather than built by hand.
+#[derive(Debug)]
+pub struct Machine {
+    program: Rc<CodeProgram>,
+    /// The run-time representation registry (starts as the compile-time
+    /// registry; extended by run-time `%make-*-type`).
+    pub registry: RepRegistry,
+    heap: Heap,
+    globals: Vec<Word>,
+    pool: Vec<Word>,
+    interned: HashMap<String, Word>,
+    frames: Vec<Frame>,
+    /// Dynamic execution counters.
+    pub counters: Counters,
+    output: String,
+    ptr_table: [bool; 8],
+    remaining: Option<u64>,
+    role: RoleCache,
+}
+
+impl Machine {
+    /// Loads `program` (building the constant pool on the heap).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmErrorKind::BadProgram`] when the program's registry lacks
+    /// a role its literals or code require.
+    pub fn new(program: CodeProgram, config: MachineConfig) -> Result<Machine, VmError> {
+        let registry = program.registry.clone();
+        let need_role = |name: &str| {
+            registry.role(name).ok_or_else(|| {
+                VmError::new(
+                    VmErrorKind::BadProgram,
+                    format!("library did not provide required representation role `{name}`"),
+                )
+            })
+        };
+        let fixnum = need_role(roles::FIXNUM)?;
+        let boolean = need_role(roles::BOOLEAN)?;
+        let closure = need_role(roles::CLOSURE)?;
+        let unspecified = need_role(roles::UNSPECIFIED)?;
+        for (name, id) in [("fixnum", fixnum), ("boolean", boolean), ("unspecified", unspecified)]
+        {
+            if registry.info(id).is_pointer() {
+                return Err(VmError::new(
+                    VmErrorKind::BadProgram,
+                    format!("role `{name}` must be an immediate representation"),
+                ));
+            }
+        }
+        if !registry.info(closure).is_pointer() {
+            return Err(VmError::new(
+                VmErrorKind::BadProgram,
+                "role `closure` must be a pointer representation",
+            ));
+        }
+        let role = RoleCache {
+            fixnum,
+            closure,
+            false_word: registry.encode_immediate(boolean, 0),
+            unspec_word: registry.encode_immediate(unspecified, 0),
+            reg_init: registry.encode_immediate(fixnum, 0),
+        };
+        let ptr_table = registry.pointer_pattern_table();
+        let nglobals = program.nglobals;
+        let mut m = Machine {
+            program: Rc::new(program),
+            registry,
+            heap: Heap::new(config.heap_words),
+            globals: vec![role.unspec_word; nglobals],
+            pool: Vec::new(),
+            interned: HashMap::new(),
+            frames: Vec::new(),
+            counters: Counters::default(),
+            output: String::new(),
+            ptr_table,
+            remaining: config.instruction_limit,
+            role,
+        };
+        m.build_pool()?;
+        Ok(m)
+    }
+
+    fn build_pool(&mut self) -> Result<(), VmError> {
+        let prog = self.program.clone();
+        // Pre-reserve so pool construction never triggers GC (intermediate
+        // children would not be roots).
+        let mut need = 0usize;
+        for e in &prog.pool {
+            need += match e {
+                PoolEntry::Datum(d) => encode::words_needed(d),
+                PoolEntry::Rep(_) => 2,
+            };
+        }
+        if self.heap.needs_gc(need) {
+            self.heap.grow_to((self.heap.used() + need + 1).next_power_of_two());
+        }
+        for e in &prog.pool {
+            let w = match e {
+                PoolEntry::Datum(d) => encode::encode_datum(self, d)?,
+                PoolEntry::Rep(rid) => self.make_rep_object(*rid)?,
+            };
+            self.pool.push(w);
+        }
+        Ok(())
+    }
+
+    /// The accumulated `%write-char` output.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// Clears the output port.
+    pub fn clear_output(&mut self) {
+        self.output.clear();
+    }
+
+    /// Formats a tagged word using the library's registered representations.
+    pub fn describe(&self, w: Word) -> String {
+        encode::describe(self, w, 64)
+    }
+
+    pub(crate) fn heap_ref(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Heap store used by the constant encoder on freshly allocated objects.
+    pub(crate) fn heap_set_for_encode(&mut self, idx: usize, w: Word) -> Result<(), VmError> {
+        self.heap.set(idx, w)
+    }
+
+    pub(crate) fn role_fixnum(&self) -> RepId {
+        self.role.fixnum
+    }
+
+    pub(crate) fn interned_lookup(&self, s: &str) -> Option<Word> {
+        self.interned.get(s).copied()
+    }
+
+    /// Allocates, collecting or growing first if needed. `fill` must be a
+    /// valid tagged word.
+    pub(crate) fn alloc_object(
+        &mut self,
+        len: usize,
+        type_id: u16,
+        tag: u64,
+        fill: Word,
+    ) -> Word {
+        self.ensure_space(len + 1);
+        self.counters.allocated_words += len as u64 + 1;
+        self.counters.allocated_objects += 1;
+        let idx = self.heap.alloc(len, type_id, fill);
+        ((idx as i64) << 3) | tag as i64
+    }
+
+    fn ensure_space(&mut self, words: usize) {
+        if !self.heap.needs_gc(words.saturating_sub(1)) {
+            return;
+        }
+        self.collect();
+        if self.heap.needs_gc(words.saturating_sub(1)) || self.heap.free() < self.heap.capacity() / 4
+        {
+            let target = ((self.heap.used() + words) * 2).max(self.heap.capacity() * 2);
+            self.heap.grow_to(target);
+        }
+    }
+
+    /// Runs a full two-space collection.
+    pub fn collect(&mut self) {
+        self.counters.gc_count += 1;
+        let cap = self.heap.capacity();
+        let mut from = self.heap.begin_gc(cap);
+        let pt = self.ptr_table;
+        for w in self.globals.iter_mut() {
+            *w = self.heap.forward(&mut from, *w, &pt);
+        }
+        for w in self.pool.iter_mut() {
+            *w = self.heap.forward(&mut from, *w, &pt);
+        }
+        let prog = self.program.clone();
+        for f in self.frames.iter_mut() {
+            let map = &prog.funs[f.fnid as usize].ptr_map;
+            for (r, w) in f.regs.iter_mut().enumerate() {
+                if map.get(r).copied().unwrap_or(true) {
+                    *w = self.heap.forward(&mut from, *w, &pt);
+                }
+            }
+        }
+        for w in self.interned.values_mut() {
+            *w = self.heap.forward(&mut from, *w, &pt);
+        }
+        self.heap.scan_from(0, &mut from, &pt);
+        self.counters.gc_copied_words += self.heap.used() as u64;
+    }
+
+    fn r(&self, reg: Reg) -> Word {
+        self.frames.last().expect("active frame").regs[reg as usize]
+    }
+
+    fn set_r(&mut self, reg: Reg, w: Word) {
+        self.frames.last_mut().expect("active frame").regs[reg as usize] = w;
+    }
+
+    fn new_frame(&self, fnid: u32, clo: Word, args: &[Word], ret_dst: Reg) -> Result<Frame, VmError> {
+        let fun = &self.program.funs[fnid as usize];
+        if fun.arity != args.len() {
+            return Err(VmError::new(
+                VmErrorKind::ArityMismatch,
+                format!("`{}` takes {} arguments, got {}", fun.name, fun.arity, args.len()),
+            ));
+        }
+        let mut regs = vec![self.role.reg_init; fun.nregs];
+        regs[0] = clo;
+        regs[1..1 + args.len()].copy_from_slice(args);
+        Ok(Frame { fnid, pc: 0, regs, ret_dst })
+    }
+
+    /// Builds a callee frame reading the closure and arguments from the
+    /// *current* frame's registers. For variadic callees the extra
+    /// arguments are collected into a library list; space for the pairs is
+    /// reserved before any register is read, so a collection here cannot
+    /// leave stale copies behind.
+    fn build_frame(
+        &mut self,
+        fnid: u32,
+        clo_reg: Reg,
+        arg_regs: &[Reg],
+        ret_dst: Reg,
+    ) -> Result<Frame, VmError> {
+        let prog = self.program.clone();
+        let fun = &prog.funs[fnid as usize];
+        if !fun.variadic {
+            if fun.arity != arg_regs.len() {
+                return Err(VmError::new(
+                    VmErrorKind::ArityMismatch,
+                    format!(
+                        "`{}` takes {} arguments, got {}",
+                        fun.name,
+                        fun.arity,
+                        arg_regs.len()
+                    ),
+                ));
+            }
+            let mut regs = vec![self.role.reg_init; fun.nregs];
+            regs[0] = self.r(clo_reg);
+            for (i, a) in arg_regs.iter().enumerate() {
+                regs[1 + i] = self.r(*a);
+            }
+            return Ok(Frame { fnid, pc: 0, regs, ret_dst });
+        }
+        if arg_regs.len() < fun.arity {
+            return Err(VmError::new(
+                VmErrorKind::ArityMismatch,
+                format!(
+                    "`{}` takes at least {} arguments, got {}",
+                    fun.name,
+                    fun.arity,
+                    arg_regs.len()
+                ),
+            ));
+        }
+        let extras = arg_regs.len() - fun.arity;
+        let pair = self.registry.role(sxr_ir::rep::roles::PAIR).ok_or_else(|| {
+            VmError::new(VmErrorKind::BadProgram, "variadic call requires a `pair` representation")
+        })?;
+        let null = self.registry.role(sxr_ir::rep::roles::NULL).ok_or_else(|| {
+            VmError::new(VmErrorKind::BadProgram, "variadic call requires a `null` representation")
+        })?;
+        let RepKind::Pointer { tag: pair_tag, .. } = self.registry.info(pair).kind else {
+            return Err(VmError::new(VmErrorKind::BadProgram, "`pair` role must be a pointer"));
+        };
+        // Reserve everything up front; reads below see post-GC registers.
+        self.ensure_space(3 * extras + 1);
+        let mut regs = vec![self.role.reg_init; fun.nregs];
+        regs[0] = self.r(clo_reg);
+        for (i, a) in arg_regs.iter().take(fun.arity).enumerate() {
+            regs[1 + i] = self.r(*a);
+        }
+        let mut rest = self.registry.encode_immediate(null, 0);
+        for a in arg_regs.iter().skip(fun.arity).rev() {
+            let car = self.r(*a);
+            let p = self.alloc_object(2, pair as u16, pair_tag, rest);
+            let base = (p >> 3) as usize;
+            self.heap.set(base + 1, car)?;
+            rest = p;
+        }
+        regs[1 + fun.arity] = rest;
+        Ok(Frame { fnid, pc: 0, regs, ret_dst })
+    }
+
+    fn closure_target(&self, fval: Word) -> Result<u32, VmError> {
+        if !self.registry.tag_matches(self.role.closure, fval) {
+            return Err(VmError::new(
+                VmErrorKind::NotAProcedure,
+                format!("call of non-procedure {}", self.describe(fval)),
+            ));
+        }
+        let base = (fval >> 3) as usize;
+        let code = self.heap.get(base + 1)?;
+        Ok(self.registry.decode_immediate(self.role.fixnum, code) as u32)
+    }
+
+    /// Executes the program to completion.
+    ///
+    /// # Errors
+    ///
+    /// Any [`VmError`] raised during execution.
+    pub fn run(&mut self) -> Result<Word, VmError> {
+        let prog = self.program.clone();
+        let main = self.new_frame(prog.main, self.role.unspec_word, &[], 0)?;
+        self.frames.push(main);
+        let mut result = self.role.unspec_word;
+
+        while let Some(top) = self.frames.last_mut() {
+            let fun = &prog.funs[top.fnid as usize];
+            let inst = match fun.insts.get(top.pc) {
+                Some(i) => i,
+                None => {
+                    return Err(VmError::new(
+                        VmErrorKind::BadProgram,
+                        format!("fell off the end of `{}`", fun.name),
+                    ))
+                }
+            };
+            top.pc += 1;
+            if matches!(inst, Inst::ResetCounters) {
+                self.counters.reset();
+                continue;
+            }
+            self.counters.count(inst.class());
+            if let Some(rem) = self.remaining.as_mut() {
+                if *rem == 0 {
+                    return Err(VmError::new(VmErrorKind::Timeout, "instruction budget exhausted"));
+                }
+                *rem -= 1;
+            }
+            match inst {
+                Inst::Const { d, imm } => {
+                    let (d, imm) = (*d, *imm);
+                    self.set_r(d, imm);
+                }
+                Inst::Pool { d, idx } => {
+                    let (d, idx) = (*d, *idx as usize);
+                    let w = self.pool[idx];
+                    self.set_r(d, w);
+                }
+                Inst::Move { d, s } => {
+                    let w = self.r(*s);
+                    self.set_r(*d, w);
+                }
+                Inst::Bin { op, d, a, b } => {
+                    let (op, d) = (*op, *d);
+                    let (a, b) = (self.r(*a), self.r(*b));
+                    let v = self.binop(op, a, b)?;
+                    self.set_r(d, v);
+                }
+                Inst::BinI { op, d, a, imm } => {
+                    let (op, d, imm) = (*op, *d, *imm as i64);
+                    let a = self.r(*a);
+                    let v = self.binop(op, a, imm)?;
+                    self.set_r(d, v);
+                }
+                Inst::LoadD { d, p, disp } => {
+                    let (d, disp) = (*d, *disp as i64);
+                    let addr = self.r(*p).wrapping_add(disp);
+                    let w = self.heap.get((addr >> 3) as usize)?;
+                    self.set_r(d, w);
+                }
+                Inst::LoadX { d, p, x, disp } => {
+                    let (d, disp) = (*d, *disp as i64);
+                    let addr = self.r(*p).wrapping_add(self.r(*x)).wrapping_add(disp);
+                    let w = self.heap.get((addr >> 3) as usize)?;
+                    self.set_r(d, w);
+                }
+                Inst::StoreD { p, disp, s } => {
+                    let disp = *disp as i64;
+                    let addr = self.r(*p).wrapping_add(disp);
+                    let w = self.r(*s);
+                    self.heap.set((addr >> 3) as usize, w)?;
+                }
+                Inst::StoreX { p, x, disp, s } => {
+                    let disp = *disp as i64;
+                    let addr = self.r(*p).wrapping_add(self.r(*x)).wrapping_add(disp);
+                    let w = self.r(*s);
+                    self.heap.set((addr >> 3) as usize, w)?;
+                }
+                Inst::AllocFill { d, len, fill, rep } => {
+                    let (d, fill_reg, rep) = (*d, *fill, *rep);
+                    let len = match len {
+                        RegImm::Imm(n) => *n as i64,
+                        RegImm::Reg(r) => self.r(*r),
+                    };
+                    if !(0..=(1 << 40)).contains(&len) {
+                        return Err(VmError::new(
+                            VmErrorKind::BadRepOperation,
+                            format!("allocation of {len} fields"),
+                        ));
+                    }
+                    let info = self.registry.info(rep);
+                    let RepKind::Pointer { tag, .. } = info.kind else {
+                        return Err(VmError::new(
+                            VmErrorKind::BadProgram,
+                            "alloc of immediate representation",
+                        ));
+                    };
+                    self.ensure_space(len as usize + 1);
+                    let fill = self.r(fill_reg); // after possible GC
+                    let w = self.alloc_object(len as usize, rep as u16, tag, fill);
+                    self.set_r(d, w);
+                }
+                Inst::Jump { t } => {
+                    let t = *t as usize;
+                    self.frames.last_mut().expect("frame").pc = t;
+                }
+                Inst::JumpCmp { op, a, b, t } => {
+                    let (op, t) = (*op, *t as usize);
+                    let a = self.r(*a);
+                    let b = match b {
+                        RegImm::Imm(i) => *i as i64,
+                        RegImm::Reg(r) => self.r(*r),
+                    };
+                    let taken = match op {
+                        CmpOp::Eq => a == b,
+                        CmpOp::Ne => a != b,
+                        CmpOp::Lt => a < b,
+                        CmpOp::Ge => a >= b,
+                    };
+                    if taken {
+                        self.frames.last_mut().expect("frame").pc = t;
+                    }
+                }
+                Inst::GlobalGet { d, g } => {
+                    let (d, g) = (*d, *g as usize);
+                    let w = self.globals[g];
+                    self.set_r(d, w);
+                }
+                Inst::GlobalSet { g, s } => {
+                    let g = *g as usize;
+                    let w = self.r(*s);
+                    self.globals[g] = w;
+                }
+                Inst::MakeClosure { d, f, free } => {
+                    let (d, f) = (*d, *f);
+                    let n = free.len();
+                    self.ensure_space(n + 2);
+                    let info = self.registry.info(self.role.closure);
+                    let RepKind::Pointer { tag, .. } = info.kind else { unreachable!() };
+                    let code = self.registry.encode_immediate(self.role.fixnum, f as i64);
+                    let w = self.alloc_object(n + 1, self.role.closure as u16, tag, code);
+                    let base = (w >> 3) as usize;
+                    for (i, fr) in free.iter().enumerate() {
+                        let v = self.r(*fr);
+                        self.heap.set(base + 2 + i, v)?;
+                    }
+                    self.set_r(d, w);
+                }
+                Inst::ClosureSet { clo, idx, val } => {
+                    let idx = *idx as usize;
+                    let base = (self.r(*clo) >> 3) as usize;
+                    let v = self.r(*val);
+                    self.heap.set(base + 2 + idx, v)?;
+                }
+                Inst::Call { d, f, args } => {
+                    let fnid = self.closure_target(self.r(*f))?;
+                    self.counters.calls += 1;
+                    let frame = self.build_frame(fnid, *f, args, *d)?;
+                    self.frames.push(frame);
+                }
+                Inst::CallKnown { d, f, clo, args } => {
+                    self.counters.calls += 1;
+                    let frame = self.build_frame(*f, *clo, args, *d)?;
+                    self.frames.push(frame);
+                }
+                Inst::TailCall { f, args } => {
+                    let fnid = self.closure_target(self.r(*f))?;
+                    self.counters.calls += 1;
+                    let ret_dst = self.frames.last().expect("frame").ret_dst;
+                    let frame = self.build_frame(fnid, *f, args, ret_dst)?;
+                    *self.frames.last_mut().expect("frame") = frame;
+                }
+                Inst::TailCallKnown { f, clo, args } => {
+                    self.counters.calls += 1;
+                    let ret_dst = self.frames.last().expect("frame").ret_dst;
+                    let frame = self.build_frame(*f, *clo, args, ret_dst)?;
+                    *self.frames.last_mut().expect("frame") = frame;
+                }
+                Inst::Ret { s } => {
+                    let v = self.r(*s);
+                    let frame = self.frames.pop().expect("frame");
+                    match self.frames.last_mut() {
+                        Some(caller) => caller.regs[frame.ret_dst as usize] = v,
+                        None => result = v,
+                    }
+                }
+                Inst::Rep { op, d, args } => {
+                    let (op, d) = (*op, *d);
+                    let regs: Vec<Reg> = args.clone();
+                    let v = self.rep_generic(op, &regs)?;
+                    self.set_r(d, v);
+                }
+                Inst::Intern { d, s } => {
+                    let d = *d;
+                    let sval = self.r(*s);
+                    let sym = self.intern_value(sval)?;
+                    self.set_r(d, sym);
+                }
+                Inst::WriteChar { s } => {
+                    let w = self.r(*s);
+                    let char_rep = self.registry.role(roles::CHAR).ok_or_else(|| {
+                        VmError::new(VmErrorKind::BadProgram, "no `char` representation role")
+                    })?;
+                    let code = self.registry.decode_immediate(char_rep, w) as u32;
+                    self.output.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                }
+                Inst::ErrorOp { s } => {
+                    let w = self.r(*s);
+                    return Err(VmError::new(
+                        VmErrorKind::SchemeError,
+                        format!("error: {}", self.describe(w)),
+                    ));
+                }
+                Inst::ResetCounters => unreachable!("handled before counting"),
+            }
+        }
+        Ok(result)
+    }
+
+    fn binop(&self, op: BinOp, a: Word, b: Word) -> Result<Word, VmError> {
+        Ok(match op {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Quot => {
+                if b == 0 {
+                    return Err(VmError::new(VmErrorKind::DivideByZero, "quotient by zero"));
+                }
+                a.wrapping_div(b)
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    return Err(VmError::new(VmErrorKind::DivideByZero, "remainder by zero"));
+                }
+                a.wrapping_rem(b)
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+            BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+            BinOp::CmpEq => (a == b) as i64,
+            BinOp::CmpLt => (a < b) as i64,
+        })
+    }
+
+    /// Builds a first-class rep-type object for `rid`.
+    pub(crate) fn make_rep_object(&mut self, rid: RepId) -> Result<Word, VmError> {
+        let reptype = self.registry.role("rep-type").ok_or_else(|| {
+            VmError::new(
+                VmErrorKind::BadProgram,
+                "first-class representation objects require the `rep-type` role",
+            )
+        })?;
+        let RepKind::Pointer { tag, .. } = self.registry.info(reptype).kind else {
+            return Err(VmError::new(VmErrorKind::BadProgram, "`rep-type` role must be a pointer"));
+        };
+        let payload = self.registry.encode_immediate(self.role.fixnum, rid as i64);
+        let w = self.alloc_object(1, reptype as u16, tag, payload);
+        Ok(w)
+    }
+
+    fn rep_id_of(&self, w: Word) -> Result<RepId, VmError> {
+        let reptype = self.registry.role("rep-type").ok_or_else(|| {
+            VmError::new(VmErrorKind::BadProgram, "no `rep-type` role registered")
+        })?;
+        if !self.registry.tag_matches(reptype, w) {
+            return Err(VmError::new(
+                VmErrorKind::BadRepOperation,
+                format!("not a representation type: {}", self.describe(w)),
+            ));
+        }
+        let base = (w >> 3) as usize;
+        if header_type(self.heap.get(base)?) != reptype as u16 {
+            return Err(VmError::new(
+                VmErrorKind::BadRepOperation,
+                "not a representation type (wrong record type)",
+            ));
+        }
+        let payload = self.heap.get(base + 1)?;
+        Ok(self.registry.decode_immediate(self.role.fixnum, payload) as RepId)
+    }
+
+    fn fixnum_arg(&self, w: Word, what: &str) -> Result<i64, VmError> {
+        if !self.registry.tag_matches(self.role.fixnum, w) {
+            return Err(VmError::new(
+                VmErrorKind::BadRepOperation,
+                format!("{what} must be a fixnum, got {}", self.describe(w)),
+            ));
+        }
+        Ok(self.registry.decode_immediate(self.role.fixnum, w))
+    }
+
+    fn symbol_name(&self, w: Word) -> Result<String, VmError> {
+        let sym = self
+            .registry
+            .role(roles::SYMBOL)
+            .ok_or_else(|| VmError::new(VmErrorKind::BadProgram, "no `symbol` role"))?;
+        if !self.registry.tag_matches(sym, w) {
+            return Err(VmError::new(
+                VmErrorKind::BadRepOperation,
+                format!("expected a symbol, got {}", self.describe(w)),
+            ));
+        }
+        let base = (w >> 3) as usize;
+        let str_ptr = self.heap.get(base + 1)?;
+        self.string_content(str_ptr)
+    }
+
+    pub(crate) fn string_content(&self, w: Word) -> Result<String, VmError> {
+        let string = self
+            .registry
+            .role(roles::STRING)
+            .ok_or_else(|| VmError::new(VmErrorKind::BadProgram, "no `string` role"))?;
+        let char_rep = self
+            .registry
+            .role(roles::CHAR)
+            .ok_or_else(|| VmError::new(VmErrorKind::BadProgram, "no `char` role"))?;
+        if !self.registry.tag_matches(string, w) {
+            return Err(VmError::new(
+                VmErrorKind::BadRepOperation,
+                format!("expected a string, got {}", self.describe(w)),
+            ));
+        }
+        let base = (w >> 3) as usize;
+        let len = header_len(self.heap.get(base)?);
+        let mut s = String::with_capacity(len);
+        for i in 0..len {
+            let cw = self.heap.get(base + 1 + i)?;
+            let code = self.registry.decode_immediate(char_rep, cw) as u32;
+            s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+        }
+        Ok(s)
+    }
+
+    pub(crate) fn intern_value(&mut self, string_ptr: Word) -> Result<Word, VmError> {
+        let name = self.string_content(string_ptr)?;
+        if let Some(w) = self.interned.get(&name) {
+            return Ok(*w);
+        }
+        let symrep = self
+            .registry
+            .role(roles::SYMBOL)
+            .ok_or_else(|| VmError::new(VmErrorKind::BadProgram, "no `symbol` role"))?;
+        let RepKind::Pointer { tag, .. } = self.registry.info(symrep).kind else {
+            return Err(VmError::new(VmErrorKind::BadProgram, "`symbol` role must be a pointer"));
+        };
+        // The string argument may move if allocation collects; re-derive it
+        // afterwards via the interned name (we copy the name into the new
+        // string below to stay simple and GC-safe).
+        let fresh = encode::encode_string(self, &name)?;
+        let w = self.alloc_object(1, symrep as u16, tag, fresh);
+        self.interned.insert(name, w);
+        Ok(w)
+    }
+
+    fn rep_generic(&mut self, op: RepVmOp, args: &[Reg]) -> Result<Word, VmError> {
+        match op {
+            RepVmOp::MakeImm => {
+                let name = self.symbol_name(self.r(args[0]))?;
+                let tag_bits = self.fixnum_arg(self.r(args[1]), "tag-bits")? as u32;
+                let tag = self.fixnum_arg(self.r(args[2]), "tag")? as u64;
+                let shift = self.fixnum_arg(self.r(args[3]), "shift")? as u32;
+                let rid = self
+                    .registry
+                    .intern_immediate(&name, tag_bits, tag, shift)
+                    .map_err(|e| VmError::new(VmErrorKind::BadRepOperation, e.0))?;
+                self.make_rep_object(rid)
+            }
+            RepVmOp::MakePtr => {
+                let name = self.symbol_name(self.r(args[0]))?;
+                let tag = self.fixnum_arg(self.r(args[1]), "tag")? as u64;
+                let discriminated = self.r(args[2]) != self.role.false_word;
+                let rid = self
+                    .registry
+                    .intern_pointer(&name, tag, discriminated)
+                    .map_err(|e| VmError::new(VmErrorKind::BadRepOperation, e.0))?;
+                self.ptr_table = self.registry.pointer_pattern_table();
+                self.make_rep_object(rid)
+            }
+            RepVmOp::Provide => {
+                let role = self.symbol_name(self.r(args[0]))?;
+                let rid = self.rep_id_of(self.r(args[1]))?;
+                self.registry
+                    .provide_role(&role, rid)
+                    .map_err(|e| VmError::new(VmErrorKind::BadRepOperation, e.0))?;
+                Ok(self.role.unspec_word)
+            }
+            RepVmOp::Inject => {
+                let rid = self.rep_id_of(self.r(args[0]))?;
+                let w = self.r(args[1]);
+                Ok(match self.registry.info(rid).kind {
+                    RepKind::Immediate { tag, shift, .. } => (w << shift) | tag as i64,
+                    RepKind::Pointer { tag, .. } => w | tag as i64,
+                })
+            }
+            RepVmOp::Project => {
+                let rid = self.rep_id_of(self.r(args[0]))?;
+                let w = self.r(args[1]);
+                Ok(match self.registry.info(rid).kind {
+                    RepKind::Immediate { shift, .. } => w >> shift,
+                    RepKind::Pointer { .. } => w & !0b111,
+                })
+            }
+            RepVmOp::Test => {
+                let rid = self.rep_id_of(self.r(args[0]))?;
+                let w = self.r(args[1]);
+                let info = self.registry.info(rid);
+                let mut ok = self.registry.tag_matches(rid, w);
+                if ok {
+                    if let RepKind::Pointer { discriminated: true, .. } = info.kind {
+                        let base = (w >> 3) as usize;
+                        ok = header_type(self.heap.get(base)?) == rid as u16;
+                    }
+                }
+                Ok(ok as i64)
+            }
+            RepVmOp::Alloc => {
+                let n = self.r(args[1]);
+                if !(0..=(1 << 40)).contains(&n) {
+                    return Err(VmError::new(
+                        VmErrorKind::BadRepOperation,
+                        format!("rep-alloc of {n} fields"),
+                    ));
+                }
+                self.ensure_space(n as usize + 1);
+                // Re-read after potential GC.
+                let rid = self.rep_id_of(self.r(args[0]))?;
+                let fill = self.r(args[2]);
+                let RepKind::Pointer { tag, .. } = self.registry.info(rid).kind else {
+                    return Err(VmError::new(
+                        VmErrorKind::BadRepOperation,
+                        "rep-alloc of an immediate representation",
+                    ));
+                };
+                Ok(self.alloc_object(n as usize, rid as u16, tag, fill))
+            }
+            RepVmOp::Ref | RepVmOp::Set | RepVmOp::Len => {
+                let rid = self.rep_id_of(self.r(args[0]))?;
+                let v = self.r(args[1]);
+                if !self.registry.tag_matches(rid, v) {
+                    return Err(VmError::new(
+                        VmErrorKind::BadRepOperation,
+                        format!(
+                            "value is not a {}: {}",
+                            self.registry.info(rid).name,
+                            self.describe(v)
+                        ),
+                    ));
+                }
+                let base = (v >> 3) as usize;
+                let len = header_len(self.heap.get(base)?);
+                match op {
+                    RepVmOp::Len => Ok(len as i64),
+                    _ => {
+                        let i = self.r(args[2]);
+                        if !(0..len as i64).contains(&i) {
+                            return Err(VmError::new(
+                                VmErrorKind::BadRepOperation,
+                                format!("field index {i} out of range 0..{len}"),
+                            ));
+                        }
+                        match op {
+                            RepVmOp::Ref => self.heap.get(base + 1 + i as usize),
+                            RepVmOp::Set => {
+                                let x = self.r(args[3]);
+                                self.heap.set(base + 1 + i as usize, x)?;
+                                Ok(self.role.unspec_word)
+                            }
+                            _ => unreachable!(),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,645 @@
+//! Integration tests driving the VM with hand-assembled programs over a
+//! hand-built (library-style) representation registry.
+
+use sxr_ir::rep::RepRegistry;
+use sxr_sexp::Datum;
+use sxr_vm::{
+    BinOp, CmpOp, CodeFun, CodeProgram, Inst, Machine, MachineConfig, PoolEntry, RegImm,
+    RepVmOp, VmErrorKind,
+};
+
+/// The classic tagging scheme the shipped prelude uses; tests build it by
+/// hand the same way the library would.
+struct Reg {
+    reg: RepRegistry,
+    fx: u32,
+    pair: u32,
+}
+
+fn classic_registry() -> Reg {
+    let mut reg = RepRegistry::new();
+    let fx = reg.intern_immediate("fixnum", 3, 0, 3).unwrap();
+    let bo = reg.intern_immediate("boolean", 8, 0b0000_0010, 8).unwrap();
+    let ch = reg.intern_immediate("char", 8, 0b0001_0010, 8).unwrap();
+    let nil = reg.intern_immediate("null", 8, 0b0010_0010, 8).unwrap();
+    let un = reg.intern_immediate("unspecified", 8, 0b0011_0010, 8).unwrap();
+    let pair = reg.intern_pointer("pair", 0b001, false).unwrap();
+    let vec_r = reg.intern_pointer("vector", 0b011, false).unwrap();
+    let string = reg.intern_pointer("string", 0b101, false).unwrap();
+    let symbol = reg.intern_pointer("symbol", 0b110, false).unwrap();
+    let clo = reg.intern_pointer("closure", 0b111, false).unwrap();
+    let reptype = reg.intern_pointer("rep-type", 0b100, true).unwrap();
+    for (role, id) in [
+        ("fixnum", fx),
+        ("boolean", bo),
+        ("char", ch),
+        ("null", nil),
+        ("unspecified", un),
+        ("pair", pair),
+        ("vector", vec_r),
+        ("string", string),
+        ("symbol", symbol),
+        ("closure", clo),
+        ("rep-type", reptype),
+    ] {
+        reg.provide_role(role, id).unwrap();
+    }
+    Reg { reg, fx, pair }
+}
+
+fn fun(name: &str, arity: usize, nregs: usize, insts: Vec<Inst>) -> CodeFun {
+    CodeFun {
+        name: name.into(),
+        arity,
+        variadic: false,
+        nregs,
+        free_count: 0,
+        insts,
+        ptr_map: vec![true; nregs],
+    }
+}
+
+fn run_program(prog: CodeProgram) -> (String, Machine) {
+    let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+    let w = m.run().unwrap();
+    let s = m.describe(w);
+    (s, m)
+}
+
+fn one_fun_program(reg: RepRegistry, main: CodeFun, pool: Vec<PoolEntry>) -> CodeProgram {
+    CodeProgram {
+        funs: vec![main],
+        main: 0,
+        pool,
+        nglobals: 4,
+        global_names: (0..4).map(|i| format!("g{i}")).collect(),
+        registry: reg,
+    }
+}
+
+#[test]
+fn arithmetic_and_describe() {
+    let r = classic_registry();
+    let enc = |n: i64| r.reg.encode_immediate(r.fx, n);
+    let main = fun(
+        "main",
+        0,
+        4,
+        vec![
+            Inst::Const { d: 1, imm: enc(6) },
+            Inst::Const { d: 2, imm: enc(7) },
+            // fixnum multiply: (a >> 3) * b  (tags are 0)
+            Inst::BinI { op: BinOp::Shr, d: 3, a: 1, imm: 3 },
+            Inst::Bin { op: BinOp::Mul, d: 3, a: 3, b: 2 },
+            Inst::Ret { s: 3 },
+        ],
+    );
+    let (s, m) = run_program(one_fun_program(r.reg, main, vec![]));
+    assert_eq!(s, "42");
+    assert_eq!(m.counters.total, 5);
+}
+
+#[test]
+fn pool_constants_roundtrip() {
+    let r = classic_registry();
+    let datum = sxr_sexp::parse_one("(1 (\"two\" #\\x) sym #t . 9)").unwrap();
+    let main = fun("main", 0, 2, vec![Inst::Pool { d: 1, idx: 0 }, Inst::Ret { s: 1 }]);
+    let (s, _m) =
+        run_program(one_fun_program(r.reg, main, vec![PoolEntry::Datum(datum.clone())]));
+    assert_eq!(s, datum.to_string());
+}
+
+#[test]
+fn vector_literal_and_symbol_interning() {
+    let r = classic_registry();
+    let v = sxr_sexp::parse_one("#(a b a)").unwrap();
+    let main = fun("main", 0, 2, vec![Inst::Pool { d: 1, idx: 0 }, Inst::Ret { s: 1 }]);
+    let (s, m) = run_program(one_fun_program(r.reg, main, vec![PoolEntry::Datum(v)]));
+    assert_eq!(s, "#(a b a)");
+    // Interning: the two `a`s are the same heap word.
+    let _ = m;
+}
+
+#[test]
+fn calls_closures_and_globals() {
+    let r = classic_registry();
+    let enc = |n: i64| r.reg.encode_immediate(r.fx, n);
+    // f1: (lambda (x) (+ x captured)) with captured in free slot 0
+    let add1 = CodeFun {
+        name: "adder".into(),
+        arity: 1,
+        variadic: false,
+        nregs: 4,
+        free_count: 1,
+        insts: vec![
+            // load free var
+            Inst::LoadD { d: 2, p: 0, disp: 8 * 2 - 0b111 },
+            // fixnum add: x + captured (tags 0)
+            Inst::Bin { op: BinOp::Add, d: 3, a: 1, b: 2 },
+            Inst::Ret { s: 3 },
+        ],
+        ptr_map: vec![true; 4],
+    };
+    let main = fun(
+        "main",
+        0,
+        5,
+        vec![
+            Inst::Const { d: 1, imm: enc(10) },
+            Inst::MakeClosure { d: 2, f: 1, free: vec![1] },
+            Inst::GlobalSet { g: 0, s: 2 },
+            Inst::GlobalGet { d: 3, g: 0 },
+            Inst::Const { d: 1, imm: enc(32) },
+            Inst::Call { d: 4, f: 3, args: vec![1] },
+            Inst::Ret { s: 4 },
+        ],
+    );
+    let prog = CodeProgram {
+        funs: vec![main, add1],
+        main: 0,
+        pool: vec![],
+        nglobals: 1,
+        global_names: vec!["adder".into()],
+        registry: r.reg,
+    };
+    let (s, m) = run_program(prog);
+    assert_eq!(s, "42");
+    assert_eq!(m.counters.calls, 1);
+}
+
+#[test]
+fn tail_call_does_not_grow_stack() {
+    let r = classic_registry();
+    let enc = |n: i64| r.reg.encode_immediate(r.fx, n);
+    // loop(n): if n == 0 ret 99 else tail-call loop(n - 8)   [fixnum 1 = 8]
+    let loop_fun = CodeFun {
+        name: "loop".into(),
+        arity: 1,
+        variadic: false,
+        nregs: 3,
+        free_count: 0,
+        insts: vec![
+            Inst::JumpCmp { op: CmpOp::Ne, a: 1, b: RegImm::Imm(0), t: 3 },
+            Inst::Const { d: 2, imm: enc(99) },
+            Inst::Ret { s: 2 },
+            Inst::BinI { op: BinOp::Sub, d: 1, a: 1, imm: 8 },
+            Inst::TailCallKnown { f: 1, clo: 0, args: vec![1] },
+        ],
+        ptr_map: vec![true, true, true],
+    };
+    let main = fun(
+        "main",
+        0,
+        3,
+        vec![
+            Inst::Const { d: 1, imm: enc(1_000_000) },
+            Inst::MakeClosure { d: 2, f: 1, free: vec![] },
+            Inst::Call { d: 1, f: 2, args: vec![1] },
+            Inst::Ret { s: 1 },
+        ],
+    );
+    let prog = CodeProgram {
+        funs: vec![main, loop_fun],
+        main: 0,
+        pool: vec![],
+        nglobals: 0,
+        global_names: vec![],
+        registry: r.reg,
+    };
+    let (s, m) = run_program(prog);
+    assert_eq!(s, "99");
+    assert!(m.counters.calls > 1_000_000);
+}
+
+#[test]
+fn allocation_load_store_and_gc_survival() {
+    let r = classic_registry();
+    let enc = |n: i64| r.reg.encode_immediate(r.fx, n);
+    let pair_tag = 0b001;
+    // Build one live pair, then allocate garbage in a loop to force GCs,
+    // then read the live pair's car.
+    let main = fun(
+        "main",
+        0,
+        8,
+        vec![
+            Inst::Const { d: 1, imm: enc(7) },
+            Inst::Const { d: 2, imm: enc(35) },
+            Inst::AllocFill { d: 3, len: RegImm::Imm(2), fill: 1, rep: 5 }, // pair rep id
+            Inst::StoreD { p: 3, disp: 8 * 2 - pair_tag, s: 2 },            // cdr := 35
+            // garbage loop: 50_000 iterations of a 2-field alloc
+            Inst::Const { d: 4, imm: 50_000 },                               // raw counter
+            // L5:
+            Inst::JumpCmp { op: CmpOp::Eq, a: 4, b: RegImm::Imm(0), t: 9 },
+            Inst::AllocFill { d: 5, len: RegImm::Imm(2), fill: 1, rep: 5 },
+            Inst::BinI { op: BinOp::Sub, d: 4, a: 4, imm: 1 },
+            Inst::Jump { t: 5 },
+            // L9: sum car + cdr of the live pair
+            Inst::LoadD { d: 6, p: 3, disp: 8 - pair_tag },
+            Inst::LoadD { d: 7, p: 3, disp: 16 - pair_tag },
+            Inst::Bin { op: BinOp::Add, d: 6, a: 6, b: 7 },
+            Inst::Ret { s: 6 },
+        ],
+    );
+    // Register 4 holds a raw counter; mark it non-pointer.
+    let mut main = main;
+    main.ptr_map[4] = false;
+    let prog = CodeProgram {
+        funs: vec![main],
+        main: 0,
+        pool: vec![],
+        nglobals: 0,
+        global_names: vec![],
+        registry: r.reg,
+    };
+    let mut m = Machine::new(
+        prog,
+        MachineConfig { heap_words: 4096, instruction_limit: None },
+    )
+    .unwrap();
+    let w = m.run().unwrap();
+    assert_eq!(m.describe(w), "42");
+    assert!(m.counters.gc_count > 10, "expected many GCs, got {}", m.counters.gc_count);
+    assert_eq!(m.counters.allocated_objects, 50_001);
+}
+
+#[test]
+fn generic_rep_ops_work_at_runtime() {
+    // Build a *new* immediate type at run time through the generic ops —
+    // the first-classness property.
+    let r = classic_registry();
+    let enc = |n: i64| r.reg.encode_immediate(r.fx, n);
+    let main = fun(
+        "main",
+        0,
+        8,
+        vec![
+            Inst::Pool { d: 1, idx: 0 }, // 'mytype symbol
+            Inst::Const { d: 2, imm: enc(8) },
+            Inst::Const { d: 3, imm: enc(0b0100_0010) },
+            Inst::Const { d: 4, imm: enc(8) },
+            Inst::Rep { op: RepVmOp::MakeImm, d: 5, args: vec![1, 2, 3, 4] },
+            // inject raw 5, test, project
+            Inst::Const { d: 6, imm: 5 }, // raw
+            Inst::Rep { op: RepVmOp::Inject, d: 6, args: vec![5, 6] },
+            Inst::Rep { op: RepVmOp::Test, d: 7, args: vec![5, 6] },
+            // result = project(inject(5)) if test else 0
+            Inst::JumpCmp { op: CmpOp::Eq, a: 7, b: RegImm::Imm(0), t: 11 },
+            Inst::Rep { op: RepVmOp::Project, d: 6, args: vec![5, 6] },
+            // tagged fixnum result: 5 << 3
+            Inst::BinI { op: BinOp::Shl, d: 6, a: 6, imm: 3 },
+            Inst::Ret { s: 6 },
+        ],
+    );
+    let mut main = main;
+    main.ptr_map[6] = false;
+    main.ptr_map[7] = false;
+    let prog = one_fun_program(
+        r.reg,
+        main,
+        vec![PoolEntry::Datum(Datum::Symbol("mytype".into()))],
+    );
+    let (s, m) = run_program(prog);
+    assert_eq!(s, "5");
+    assert!(m.registry.by_name("mytype").is_some());
+}
+
+#[test]
+fn generic_rep_alloc_ref_set_len() {
+    let r = classic_registry();
+    let enc = |n: i64| r.reg.encode_immediate(r.fx, n);
+    let main = fun(
+        "main",
+        0,
+        8,
+        vec![
+            Inst::Pool { d: 1, idx: 0 }, // rep object for pair
+            Inst::Const { d: 2, imm: 2 }, // raw length
+            Inst::Const { d: 3, imm: enc(11) },
+            Inst::Rep { op: RepVmOp::Alloc, d: 4, args: vec![1, 2, 3] },
+            Inst::Const { d: 5, imm: 1 }, // raw index
+            Inst::Const { d: 6, imm: enc(31) },
+            Inst::Rep { op: RepVmOp::Set, d: 7, args: vec![1, 4, 5, 6] },
+            Inst::Rep { op: RepVmOp::Ref, d: 6, args: vec![1, 4, 5] },
+            Inst::Rep { op: RepVmOp::Ref, d: 3, args: vec![1, 4, 2] }, // index 2: out of range!
+            Inst::Ret { s: 6 },
+        ],
+    );
+    let mut main = main;
+    main.ptr_map[2] = false;
+    main.ptr_map[5] = false;
+    let pair_id = r.pair;
+    let prog = one_fun_program(r.reg, main, vec![PoolEntry::Rep(pair_id)]);
+    let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+    let err = m.run().unwrap_err();
+    assert_eq!(err.kind, VmErrorKind::BadRepOperation);
+    assert!(err.message.contains("out of range"));
+}
+
+#[test]
+fn errors_are_reported() {
+    let r = classic_registry();
+    let enc = |n: i64| r.reg.encode_immediate(r.fx, n);
+    // Division by zero.
+    let main = fun(
+        "main",
+        0,
+        3,
+        vec![
+            Inst::Const { d: 1, imm: enc(1) },
+            Inst::Const { d: 2, imm: 0 },
+            Inst::Bin { op: BinOp::Quot, d: 1, a: 1, b: 2 },
+            Inst::Ret { s: 1 },
+        ],
+    );
+    let prog = one_fun_program(r.reg, main, vec![]);
+    let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+    assert_eq!(m.run().unwrap_err().kind, VmErrorKind::DivideByZero);
+
+    // Call of a non-procedure.
+    let r = classic_registry();
+    let main = fun(
+        "main",
+        0,
+        3,
+        vec![
+            Inst::Const { d: 1, imm: r.reg.encode_immediate(r.fx, 5) },
+            Inst::Call { d: 2, f: 1, args: vec![] },
+            Inst::Ret { s: 2 },
+        ],
+    );
+    let prog = one_fun_program(r.reg, main, vec![]);
+    let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+    assert_eq!(m.run().unwrap_err().kind, VmErrorKind::NotAProcedure);
+}
+
+#[test]
+fn arity_mismatch() {
+    let r = classic_registry();
+    let id = fun("id", 1, 2, vec![Inst::Ret { s: 1 }]);
+    let main = fun(
+        "main",
+        0,
+        3,
+        vec![
+            Inst::MakeClosure { d: 1, f: 1, free: vec![] },
+            Inst::Call { d: 2, f: 1, args: vec![] },
+            Inst::Ret { s: 2 },
+        ],
+    );
+    let prog = CodeProgram {
+        funs: vec![main, id],
+        main: 0,
+        pool: vec![],
+        nglobals: 0,
+        global_names: vec![],
+        registry: r.reg,
+    };
+    let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+    let err = m.run().unwrap_err();
+    assert_eq!(err.kind, VmErrorKind::ArityMismatch);
+    assert!(err.message.contains("id"));
+}
+
+#[test]
+fn write_char_output_and_reset_counters() {
+    let r = classic_registry();
+    let ch = r.reg.role("char").unwrap();
+    let enc_c = |c: char| r.reg.encode_immediate(ch, c as i64);
+    let main = fun(
+        "main",
+        0,
+        2,
+        vec![
+            Inst::Const { d: 1, imm: enc_c('h') },
+            Inst::WriteChar { s: 1 },
+            Inst::ResetCounters,
+            Inst::Const { d: 1, imm: enc_c('i') },
+            Inst::WriteChar { s: 1 },
+            Inst::Ret { s: 1 },
+        ],
+    );
+    let prog = one_fun_program(r.reg, main, vec![]);
+    let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+    m.run().unwrap();
+    assert_eq!(m.output(), "hi");
+    // Counters were reset mid-run: only the last three instructions count.
+    assert_eq!(m.counters.total, 3);
+}
+
+#[test]
+fn instruction_limit_timeout() {
+    let r = classic_registry();
+    let main = fun("main", 0, 2, vec![Inst::Jump { t: 0 }]);
+    let prog = one_fun_program(r.reg, main, vec![]);
+    let mut m = Machine::new(
+        prog,
+        MachineConfig { heap_words: 1 << 12, instruction_limit: Some(10_000) },
+    )
+    .unwrap();
+    assert_eq!(m.run().unwrap_err().kind, VmErrorKind::Timeout);
+}
+
+#[test]
+fn missing_role_is_bad_program() {
+    let mut reg = RepRegistry::new();
+    let fx = reg.intern_immediate("fixnum", 3, 0, 3).unwrap();
+    reg.provide_role("fixnum", fx).unwrap();
+    let main = fun("main", 0, 1, vec![Inst::Ret { s: 0 }]);
+    let prog = CodeProgram {
+        funs: vec![main],
+        main: 0,
+        pool: vec![],
+        nglobals: 0,
+        global_names: vec![],
+        registry: reg,
+    };
+    let err = Machine::new(prog, MachineConfig::default()).unwrap_err();
+    assert_eq!(err.kind, VmErrorKind::BadProgram);
+    assert!(err.message.contains("boolean"));
+}
+
+#[test]
+fn intern_instruction_dedups() {
+    let r = classic_registry();
+    let main = fun(
+        "main",
+        0,
+        5,
+        vec![
+            Inst::Pool { d: 1, idx: 0 }, // "abc" string 1
+            Inst::Pool { d: 2, idx: 1 }, // "abc" string 2 (distinct object)
+            Inst::Intern { d: 3, s: 1 },
+            Inst::Intern { d: 4, s: 2 },
+            Inst::Bin { op: BinOp::CmpEq, d: 1, a: 3, b: 4 },
+            // raw 1/0 -> fixnum
+            Inst::BinI { op: BinOp::Shl, d: 1, a: 1, imm: 3 },
+            Inst::Ret { s: 1 },
+        ],
+    );
+    let prog = one_fun_program(
+        r.reg,
+        main,
+        vec![
+            PoolEntry::Datum(Datum::String("abc".into())),
+            PoolEntry::Datum(Datum::String("abc".into())),
+        ],
+    );
+    let (s, _m) = run_program(prog);
+    assert_eq!(s, "1");
+}
+
+#[test]
+fn variadic_calls_build_rest_lists() {
+    let r = classic_registry();
+    let enc = |n: i64| r.reg.encode_immediate(r.fx, n);
+    // f(a . rest): returns rest (register 2 holds the built list).
+    let f = CodeFun {
+        name: "f".into(),
+        arity: 1,
+        variadic: true,
+        nregs: 3,
+        free_count: 0,
+        insts: vec![Inst::Ret { s: 2 }],
+        ptr_map: vec![true; 3],
+    };
+    let main = fun(
+        "main",
+        0,
+        6,
+        vec![
+            Inst::MakeClosure { d: 1, f: 1, free: vec![] },
+            Inst::Const { d: 2, imm: enc(1) },
+            Inst::Const { d: 3, imm: enc(2) },
+            Inst::Const { d: 4, imm: enc(3) },
+            Inst::Call { d: 5, f: 1, args: vec![2, 3, 4] },
+            Inst::Ret { s: 5 },
+        ],
+    );
+    let prog = CodeProgram {
+        funs: vec![main, f],
+        main: 0,
+        pool: vec![],
+        nglobals: 0,
+        global_names: vec![],
+        registry: r.reg,
+    };
+    let (s, _m) = run_program(prog);
+    assert_eq!(s, "(2 3)");
+}
+
+#[test]
+fn variadic_with_exact_arity_gets_empty_rest() {
+    let r = classic_registry();
+    let enc = |n: i64| r.reg.encode_immediate(r.fx, n);
+    let f = CodeFun {
+        name: "f".into(),
+        arity: 1,
+        variadic: true,
+        nregs: 3,
+        free_count: 0,
+        insts: vec![Inst::Ret { s: 2 }],
+        ptr_map: vec![true; 3],
+    };
+    let main = fun(
+        "main",
+        0,
+        4,
+        vec![
+            Inst::MakeClosure { d: 1, f: 1, free: vec![] },
+            Inst::Const { d: 2, imm: enc(1) },
+            Inst::Call { d: 3, f: 1, args: vec![2] },
+            Inst::Ret { s: 3 },
+        ],
+    );
+    let prog = CodeProgram {
+        funs: vec![main, f],
+        main: 0,
+        pool: vec![],
+        nglobals: 0,
+        global_names: vec![],
+        registry: r.reg,
+    };
+    let (s, _m) = run_program(prog);
+    assert_eq!(s, "()");
+}
+
+#[test]
+fn variadic_too_few_args_is_arity_error() {
+    let r = classic_registry();
+    let f = CodeFun {
+        name: "f".into(),
+        arity: 2,
+        variadic: true,
+        nregs: 4,
+        free_count: 0,
+        insts: vec![Inst::Ret { s: 1 }],
+        ptr_map: vec![true; 4],
+    };
+    let main = fun(
+        "main",
+        0,
+        3,
+        vec![
+            Inst::MakeClosure { d: 1, f: 1, free: vec![] },
+            Inst::Call { d: 2, f: 1, args: vec![1] },
+            Inst::Ret { s: 2 },
+        ],
+    );
+    let prog = CodeProgram {
+        funs: vec![main, f],
+        main: 0,
+        pool: vec![],
+        nglobals: 0,
+        global_names: vec![],
+        registry: r.reg,
+    };
+    let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+    assert_eq!(m.run().unwrap_err().kind, VmErrorKind::ArityMismatch);
+}
+
+#[test]
+fn heap_grows_transparently() {
+    // Keep a growing live list so collections cannot reclaim; the heap
+    // must grow rather than fail.
+    let r = classic_registry();
+    let enc = |n: i64| r.reg.encode_immediate(r.fx, n);
+    let nil = r.reg.encode_immediate(r.reg.role("null").unwrap(), 0);
+    let pair_tag = 1;
+    let mut main = fun(
+        "main",
+        0,
+        6,
+        vec![
+            Inst::Const { d: 1, imm: nil },    // the (live, growing) list
+            Inst::Const { d: 2, imm: 20_000 }, // raw counter
+            // L2: loop head
+            Inst::JumpCmp { op: CmpOp::Eq, a: 2, b: RegImm::Imm(0), t: 8 },
+            Inst::AllocFill { d: 3, len: RegImm::Imm(2), fill: 1, rep: 5 },
+            Inst::StoreD { p: 3, disp: 16 - pair_tag, s: 1 }, // cdr := list
+            Inst::Move { d: 1, s: 3 },
+            Inst::BinI { op: BinOp::Sub, d: 2, a: 2, imm: 1 },
+            Inst::Jump { t: 2 },
+            // L8: exit
+            Inst::Const { d: 4, imm: enc(99) },
+            Inst::Ret { s: 4 },
+        ],
+    );
+    main.ptr_map[2] = false;
+    let prog = CodeProgram {
+        funs: vec![main],
+        main: 0,
+        pool: vec![],
+        nglobals: 0,
+        global_names: vec![],
+        registry: r.reg,
+    };
+    let mut m = Machine::new(
+        prog,
+        MachineConfig { heap_words: 1 << 10, instruction_limit: None },
+    )
+    .unwrap();
+    let w = m.run().unwrap();
+    assert_eq!(m.describe(w), "99");
+    assert!(m.counters.allocated_objects == 20_000);
+}

@@ -1,0 +1,46 @@
+//! Quickstart: compile and run a Scheme program under the paper's system.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sxr::{Compiler, PipelineConfig};
+
+fn main() {
+    // The paper's configuration: primitives are ordinary library code over
+    // first-class representation types, compiled with the general-purpose
+    // optimizer.
+    let compiler = Compiler::new(PipelineConfig::abstract_optimized());
+
+    let program = r#"
+        (define (fact n)
+          (if (fx= n 0) 1 (fx* n (fact (fx- n 1)))))
+
+        (display "10! = ")
+        (display (fact 10))
+        (newline)
+
+        (display (map (lambda (x) (fx* x x)) (iota 8)))
+        (newline)
+    "#;
+
+    let compiled = compiler.compile(program).expect("compiles");
+    let outcome = compiled.run().expect("runs");
+
+    print!("{}", outcome.output);
+    println!("-- final value: {}", outcome.value);
+    println!("-- executed: {}", outcome.counters.summary());
+    println!(
+        "-- optimizer: {} call sites inlined, {} algebraic rewrites",
+        compiled.opt_report.inlined, compiled.opt_report.bit_rewrites
+    );
+
+    // The same program, without the optimizer: the abstraction's raw cost.
+    let naive = Compiler::new(PipelineConfig::abstract_unoptimized())
+        .compile(program)
+        .expect("compiles")
+        .run()
+        .expect("runs");
+    println!(
+        "-- without the optimizer the same program takes {:.1}x the instructions",
+        naive.counters.total as f64 / outcome.counters.total as f64
+    );
+}

@@ -1,0 +1,40 @@
+;;; A tiny meta-circular evaluator — Scheme interpreting (a subset of)
+;;; Scheme, on a Scheme system whose own data types are library code.
+;;; Run with: cargo run --bin sxr -- examples/scheme/metacircular.scm
+
+(define (lookup env x)
+  (cond ((null? env) (error x))
+        ((eq? (caar env) x) (cdar env))
+        (else (lookup (cdr env) x))))
+
+(define (ev e env)
+  (cond ((fixnum? e) e)
+        ((symbol? e) (lookup env e))
+        ((eq? (car e) 'quote) (cadr e))
+        ((eq? (car e) 'if)
+         (if (ev (cadr e) env) (ev (caddr e) env) (ev (cadr (cddr e)) env)))
+        ((eq? (car e) 'lambda)
+         ;; (lambda (x) body) -> host closure
+         (lambda (arg) (ev (caddr e) (cons (cons (car (cadr e)) arg) env))))
+        (else
+         ;; application (one argument, like the lambda calculus intends)
+         (let ((f (ev (car e) env)))
+           (if (procedure? f)
+               (f (ev (cadr e) env))
+               (error 'not-a-procedure))))))
+
+(define base-env
+  (list (cons 'add1 add1)
+        (cons 'sub1 sub1)
+        (cons 'zero? zero?)))
+
+(define prog
+  '(((lambda (f) (lambda (n) ((f f) n)))
+     (lambda (self)
+       (lambda (n)
+         (if (zero? n) 0 (add1 ((self self) (sub1 n)))))))
+    7))
+
+(display "Y-combinator identity on 7 = ")
+(display (ev prog base-env))
+(newline)

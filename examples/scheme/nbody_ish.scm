@@ -1,0 +1,29 @@
+;;; A little physics-flavoured workload: integrate a bouncing particle with
+;;; records for state. Run with:
+;;;   cargo run --bin sxr -- examples/scheme/nbody_ish.scm
+
+(define-record-type particle
+  (make-particle x v)
+  particle?
+  (x particle-x set-particle-x!)
+  (v particle-v set-particle-v!))
+
+(define (step! p)
+  ;; integer physics: gravity -1 per tick, elastic floor at 0
+  (set-particle-v! p (fx- (particle-v p) 1))
+  (set-particle-x! p (fx+ (particle-x p) (particle-v p)))
+  (when (fx< (particle-x p) 0)
+    (set-particle-x! p (fx- 0 (particle-x p)))
+    (set-particle-v! p (fx- 0 (particle-v p)))))
+
+(define (simulate ticks)
+  (let ((p (make-particle 100 0)))
+    (do ((i 0 (fx+ i 1))) ((fx= i ticks) p)
+      (step! p))))
+
+(let ((p (simulate 1000)))
+  (display "after 1000 ticks: x=")
+  (display (particle-x p))
+  (display " v=")
+  (display (particle-v p))
+  (newline))

@@ -1,0 +1,27 @@
+;;; Word frequency over a string, association-list style. Run with:
+;;;   cargo run --bin sxr -- examples/scheme/wordfreq.scm
+
+(define text "the quick brown fox jumps over the lazy dog the fox")
+
+(define (split-words s)
+  (let ((n (string-length s)))
+    (let loop ((i 0) (start 0) (acc '()))
+      (cond ((fx= i n)
+             (reverse (if (fx< start i) (cons (substring s start i) acc) acc)))
+            ((char=? (string-ref s i) #\space)
+             (loop (fx+ i 1) (fx+ i 1)
+                   (if (fx< start i) (cons (substring s start i) acc) acc)))
+            (else (loop (fx+ i 1) start acc))))))
+
+(define (bump table word)
+  (let ((hit (assoc word table)))
+    (if hit
+        (begin (set-cdr! hit (fx+ (cdr hit) 1)) table)
+        (cons (cons word 1) table))))
+
+(define (frequencies words) (fold-left bump '() words))
+
+(for-each
+ (lambda (entry)
+   (display (car entry)) (display ": ") (display (cdr entry)) (newline))
+ (reverse (frequencies (split-words text))))

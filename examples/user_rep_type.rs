@@ -1,0 +1,56 @@
+//! First-class representation types are for *users*, not just the library:
+//! define a brand-new data type (2-D points), give it a representation, and
+//! watch the same generally-useful optimizations compile its accessors down
+//! to single loads — exactly like the built-in pairs.
+//!
+//! Run with: `cargo run --example user_rep_type`
+
+use sxr::{Compiler, PipelineConfig};
+
+const POINTS: &str = r#"
+  ;; A user-defined data type, declared exactly the way the library
+  ;; declares pairs: tag 4 is the shared record tag, discriminated by
+  ;; header type id.
+  (define point-rep (%make-pointer-type 'point 4 #t))
+
+  (define (make-point x y)
+    (let ((p (%rep-alloc point-rep (%rep-project fixnum-rep 2) x)))
+      (%rep-set! point-rep p (%rep-project fixnum-rep 1) y)
+      p))
+  (define (point-x p) (%rep-ref point-rep p (%rep-project fixnum-rep 0)))
+  (define (point-y p) (%rep-ref point-rep p (%rep-project fixnum-rep 1)))
+  (define (point? x) (%rep-inject boolean-rep (%rep-test point-rep x)))
+
+  (define (point-add a b)
+    (make-point (fx+ (point-x a) (point-x b))
+                (fx+ (point-y a) (point-y b))))
+
+  (define p (point-add (make-point 1 2) (make-point 30 40)))
+  (display (list2 (point-x p) (point-y p)))
+  (newline)
+  (display (list2 (point? p) (point? 42)))
+  (newline)
+"#;
+
+fn main() {
+    let compiled = Compiler::new(PipelineConfig::abstract_optimized())
+        .compile(POINTS)
+        .expect("compiles");
+    let outcome = compiled.run().expect("runs");
+    print!("{}", outcome.output);
+
+    println!("\npoint-x under the optimizing pipeline (a single tagged load):");
+    println!("{}", compiled.disassemble("point-x").unwrap());
+
+    let naive = Compiler::new(PipelineConfig::abstract_unoptimized())
+        .compile(POINTS)
+        .expect("compiles");
+    println!("point-x with the optimizer off (generic dispatch):");
+    println!("{}", naive.disassemble("point-x").unwrap());
+
+    println!(
+        "static size: {} instructions optimized vs {} generic",
+        compiled.static_count("point-x").unwrap(),
+        naive.static_count("point-x").unwrap()
+    );
+}

@@ -1,0 +1,89 @@
+//! "Safety is library policy": the checked primitive layer is ordinary
+//! library code (prims_abstract_checked.scm) — same compiler, same
+//! optimizer. These tests verify the checks fire, the semantics are
+//! otherwise unchanged, and the measured safety overhead is sane.
+
+use sxr::{
+    Compiler, PipelineConfig, VmErrorKind, LIBRARY_SCM, PRIMS_ABSTRACT_CHECKED_SCM, REPS_SCM,
+};
+
+fn checked(src: &str) -> Result<sxr::Outcome, sxr::VmError> {
+    Compiler::new(PipelineConfig::abstract_optimized())
+        .compile_with_prelude(&[REPS_SCM, PRIMS_ABSTRACT_CHECKED_SCM, LIBRARY_SCM], src)
+        .unwrap_or_else(|e| panic!("checked prelude failed to compile: {e}"))
+        .run()
+}
+
+#[test]
+fn checked_layer_passes_the_whole_corpus() {
+    let corpus = include_str!("../crates/core/scheme/selftest.scm");
+    let out = checked(corpus).expect("corpus runs");
+    assert_eq!(out.value, "ok", "corpus failures:\n{}", out.output);
+}
+
+#[test]
+fn type_checks_fire() {
+    for bad in [
+        "(car 5)",
+        "(cdr \"s\")",
+        "(set-car! 'sym 1)",
+        "(vector-ref '(1 2) 0)",
+        "(string-ref '#(1) 0)",
+        "(fx+ 'a 1)",
+        "(fx< 1 \"x\")",
+        "(unbox 5)",
+        "(symbol->string \"not-a-symbol\")",
+    ] {
+        let err = checked(bad).expect_err(bad);
+        assert_eq!(err.kind, VmErrorKind::SchemeError, "{bad}: {err}");
+    }
+}
+
+#[test]
+fn bounds_checks_fire() {
+    for bad in [
+        "(vector-ref (make-vector 3 0) 3)",
+        "(vector-ref (make-vector 3 0) -1)",
+        "(vector-set! (make-vector 3 0) 9 1)",
+        "(string-ref \"abc\" 3)",
+        "(make-vector -1 0)",
+    ] {
+        let err = checked(bad).expect_err(bad);
+        assert_eq!(err.kind, VmErrorKind::SchemeError, "{bad}: {err}");
+    }
+}
+
+#[test]
+fn in_bounds_behaviour_is_unchanged() {
+    let src = "(let ((v (make-vector 4 1)))
+                 (vector-set! v 2 9)
+                 (display (list (vector-ref v 2) (car (cons 7 8)) (fx+ 1 2))))";
+    assert_eq!(checked(src).unwrap().output, "(9 7 3)");
+}
+
+#[test]
+fn safety_overhead_is_bounded() {
+    // The checks cost something, but the optimizer still specializes
+    // everything around them: on a vector-sum kernel the checked layer
+    // should stay within a small multiple of the unchecked one.
+    let kernel = "
+      (define v (make-vector 5000 3))
+      (%counters-reset!)
+      (let loop ((i 0) (s 0))
+        (if (fx= i 5000) s (loop (fx+ i 1) (fx+ s (vector-ref v i)))))";
+    let unchecked = Compiler::new(PipelineConfig::abstract_optimized())
+        .compile(kernel)
+        .unwrap()
+        .run()
+        .unwrap();
+    let with_checks = checked(kernel).unwrap();
+    assert_eq!(unchecked.value, with_checks.value);
+    let ratio = with_checks.counters.total as f64 / unchecked.counters.total as f64;
+    assert!(
+        ratio > 1.05 && ratio < 4.0,
+        "expected modest safety overhead, got {ratio:.2}x \
+         ({} vs {} instructions)",
+        with_checks.counters.total,
+        unchecked.counters.total
+    );
+}

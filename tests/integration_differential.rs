@@ -1,0 +1,120 @@
+//! Differential testing: every pipeline configuration — Traditional,
+//! AbstractOpt, AbstractNoOpt, and each single-pass ablation — must agree
+//! on the observable behaviour of every benchmark and a grab-bag of
+//! programs. This is the primary miscompilation detector for the
+//! representation-specializing passes.
+
+use sxr::{Compiler, PipelineConfig};
+use sxr_bench::BENCHMARKS;
+
+fn configs() -> Vec<(String, PipelineConfig)> {
+    let mut v = vec![
+        ("Traditional".to_string(), PipelineConfig::traditional()),
+        ("AbstractOpt".to_string(), PipelineConfig::abstract_optimized()),
+        ("AbstractNoOpt".to_string(), PipelineConfig::abstract_unoptimized()),
+    ];
+    for pass in ["inline", "constfold", "repspec", "bits", "cse", "dce"] {
+        v.push((format!("Ablate({pass})"), PipelineConfig::ablated(pass)));
+    }
+    v
+}
+
+#[test]
+fn benchmarks_agree_across_all_configurations() {
+    for b in BENCHMARKS {
+        for (label, cfg) in configs() {
+            let out = Compiler::new(cfg)
+                .compile(b.source)
+                .unwrap_or_else(|e| panic!("[{label}] {} failed to compile: {e}", b.name))
+                .run()
+                .unwrap_or_else(|e| panic!("[{label}] {} failed to run: {e}", b.name));
+            assert_eq!(
+                out.value, b.expect,
+                "[{label}] {} produced the wrong value",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn grab_bag_agrees_across_all_configurations() {
+    let programs = [
+        "(display (map (lambda (p) (fx+ (car p) (cdr p)))
+                       (map2 cons (iota 5) (reverse (iota 5)))))",
+        "(write '(a (b . c) #(1 \"two\" #\\3)))",
+        "(display (fold-right cons '() (iota 4)))",
+        "(let ((s (make-string 5 #\\x))) (string-set! s 2 #\\y) (display s))",
+        "(display (list->string (map (lambda (c) (integer->char (fx+ 1 (char->integer c))))
+                                     (string->list \"hal\"))))",
+        "(display (vector-map (lambda (x) (fx* 2 x)) '#(1 2 3)))",
+        "(define v (make-vector 4 0))
+         (do ((i 0 (fx+ i 1))) ((fx= i 4)) (vector-set! v i (fx* i i)))
+         (display v)",
+        "(display (case (fx* 3 5) ((14 16) 'even-ish) ((15) 'fifteen) (else 'other)))",
+        "(display (let loop ((i 0) (acc '())) (if (fx= i 3) acc (loop (fx+ i 1) (cons i acc)))))",
+        "(define (compose f g) (lambda (x) (f (g x))))
+         (display ((compose add1 (compose add1 add1)) 39))",
+    ];
+    for src in programs {
+        let mut outputs = Vec::new();
+        for (label, cfg) in configs() {
+            let out = Compiler::new(cfg)
+                .compile(src)
+                .unwrap_or_else(|e| panic!("[{label}] compile failed: {e}\n{src}"))
+                .run()
+                .unwrap_or_else(|e| panic!("[{label}] run failed: {e}\n{src}"));
+            outputs.push((label, out.output));
+        }
+        let first = outputs[0].1.clone();
+        for (label, o) in &outputs {
+            assert_eq!(o, &first, "[{label}] diverged on:\n{src}");
+        }
+    }
+}
+
+#[test]
+fn abstract_opt_matches_traditional_instruction_counts() {
+    // The paper's headline claim, measured: the abstract pipeline's dynamic
+    // instruction counts are essentially those of the hand-written baseline.
+    let mut total_trad = 0u64;
+    let mut total_opt = 0u64;
+    for b in BENCHMARKS {
+        let trad =
+            Compiler::new(PipelineConfig::traditional()).compile(b.source).unwrap().run().unwrap();
+        let aopt = Compiler::new(PipelineConfig::abstract_optimized())
+            .compile(b.source)
+            .unwrap()
+            .run()
+            .unwrap();
+        let (t, a) = (trad.counters.total, aopt.counters.total);
+        total_trad += t;
+        total_opt += a;
+        let ratio = a as f64 / t as f64;
+        assert!(
+            ratio < 1.15,
+            "{}: AbstractOpt used {a} instructions vs Traditional {t} (ratio {ratio:.3})",
+            b.name
+        );
+    }
+    let overall = total_opt as f64 / total_trad as f64;
+    assert!(overall < 1.10, "overall ratio {overall:.3}");
+}
+
+#[test]
+fn noopt_is_much_slower() {
+    // Without the transformations, the abstraction has a real cost.
+    let b = sxr_bench::benchmark("fib").unwrap();
+    let aopt = Compiler::new(PipelineConfig::abstract_optimized())
+        .compile(b.source)
+        .unwrap()
+        .run()
+        .unwrap();
+    let noopt = Compiler::new(PipelineConfig::abstract_unoptimized())
+        .compile(b.source)
+        .unwrap()
+        .run()
+        .unwrap();
+    let ratio = noopt.counters.total as f64 / aopt.counters.total as f64;
+    assert!(ratio > 3.0, "expected >3x slowdown without optimization, got {ratio:.2}");
+}

@@ -1,0 +1,53 @@
+//! Runs the Scheme-level conformance corpus (`selftest.scm`) under every
+//! pipeline configuration. The corpus is object-language code, so a pass
+//! here exercises reader, expander, optimizer, code generator, VM, and GC
+//! together.
+
+use sxr::{Compiler, PipelineConfig};
+
+const SELFTEST: &str = include_str!("../crates/core/scheme/selftest.scm");
+
+fn run_under(label: &str, cfg: PipelineConfig) {
+    let out = Compiler::new(cfg)
+        .compile(SELFTEST)
+        .unwrap_or_else(|e| panic!("[{label}] selftest failed to compile: {e}"))
+        .run()
+        .unwrap_or_else(|e| panic!("[{label}] selftest failed to run: {e}"));
+    assert_eq!(out.value, "ok", "[{label}] corpus reported failures:\n{}", out.output);
+    assert!(
+        out.output.ends_with("0 failures\n"),
+        "[{label}] unexpected report: {}",
+        out.output
+    );
+}
+
+#[test]
+fn selftest_traditional() {
+    run_under("Traditional", PipelineConfig::traditional());
+}
+
+#[test]
+fn selftest_abstract_opt() {
+    run_under("AbstractOpt", PipelineConfig::abstract_optimized());
+}
+
+#[test]
+fn selftest_abstract_noopt() {
+    run_under("AbstractNoOpt", PipelineConfig::abstract_unoptimized());
+}
+
+#[test]
+fn selftest_all_ablations() {
+    for pass in ["inline", "constfold", "repspec", "bits", "cse", "dce"] {
+        run_under(&format!("Ablate({pass})"), PipelineConfig::ablated(pass));
+    }
+}
+
+#[test]
+fn selftest_under_memory_pressure() {
+    // A tiny heap forces constant collection through the whole corpus.
+    run_under(
+        "TinyHeap",
+        PipelineConfig::abstract_optimized().with_heap_words(1 << 13),
+    );
+}

@@ -1,0 +1,269 @@
+//! Property-based differential testing: generate random well-formed
+//! programs and require every pipeline configuration to agree on their
+//! output. Random programs reach operator combinations the hand-written
+//! suites never think of; any divergence is a miscompilation in one of the
+//! representation-handling paths.
+
+use proptest::prelude::*;
+use sxr::{Compiler, PipelineConfig};
+
+/// A well-typed expression generator. Every generated program terminates,
+/// raises no runtime errors, and uses only exact arithmetic.
+#[derive(Debug, Clone)]
+enum IntExpr {
+    Lit(i32),
+    Var(usize), // de Bruijn-ish index into bound int vars
+    Add(Box<IntExpr>, Box<IntExpr>),
+    Sub(Box<IntExpr>, Box<IntExpr>),
+    Mul(Box<IntExpr>, Box<IntExpr>),
+    // quotient/remainder with a divisor forced nonzero
+    Quot(Box<IntExpr>, Box<IntExpr>),
+    Rem(Box<IntExpr>, Box<IntExpr>),
+    If(Box<BoolExpr>, Box<IntExpr>, Box<IntExpr>),
+    Let(Box<IntExpr>, Box<IntExpr>), // binds one more var in body
+    // (length (list ...)) and list folds
+    SumList(Vec<IntExpr>),
+    CarCons(Box<IntExpr>, Box<IntExpr>),
+    VecRef(Vec<IntExpr>, usize),
+    CharRound(Box<IntExpr>),
+    Apply1(Box<IntExpr>), // ((lambda (x) (fx+ x 1)) e)
+}
+
+#[derive(Debug, Clone)]
+enum BoolExpr {
+    Lit(bool),
+    Lt(Box<IntExpr>, Box<IntExpr>),
+    Eq(Box<IntExpr>, Box<IntExpr>),
+    Not(Box<BoolExpr>),
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    NullTest(Vec<IntExpr>),
+}
+
+fn render_int(e: &IntExpr, depth: usize, out: &mut String) {
+    match e {
+        IntExpr::Lit(n) => out.push_str(&n.to_string()),
+        IntExpr::Var(i) => {
+            if depth == 0 {
+                out.push('7'); // no vars in scope: a constant
+            } else {
+                out.push_str(&format!("v{}", i % depth));
+            }
+        }
+        IntExpr::Add(a, b) => bin(out, "fx+", a, b, depth),
+        IntExpr::Sub(a, b) => bin(out, "fx-", a, b, depth),
+        IntExpr::Mul(a, b) => {
+            // Keep magnitudes bounded: multiply remainders.
+            out.push_str("(fx* (fxremainder ");
+            render_int(a, depth, out);
+            out.push_str(" 1000) (fxremainder ");
+            render_int(b, depth, out);
+            out.push_str(" 1000))");
+        }
+        IntExpr::Quot(a, b) => safediv(out, "fxquotient", a, b, depth),
+        IntExpr::Rem(a, b) => safediv(out, "fxremainder", a, b, depth),
+        IntExpr::If(c, t, e2) => {
+            out.push_str("(if ");
+            render_bool(c, depth, out);
+            out.push(' ');
+            render_int(t, depth, out);
+            out.push(' ');
+            render_int(e2, depth, out);
+            out.push(')');
+        }
+        IntExpr::Let(init, body) => {
+            out.push_str(&format!("(let ((v{depth} "));
+            render_int(init, depth, out);
+            out.push_str(")) ");
+            render_int(body, depth + 1, out);
+            out.push(')');
+        }
+        IntExpr::SumList(items) => {
+            out.push_str("(fold-left fx+ 0 ");
+            render_list(items, depth, out);
+            out.push(')');
+        }
+        IntExpr::CarCons(a, b) => {
+            out.push_str("(car (cons ");
+            render_int(a, depth, out);
+            out.push(' ');
+            render_int(b, depth, out);
+            out.push_str("))");
+        }
+        IntExpr::VecRef(items, i) => {
+            let idx = if items.is_empty() { 0 } else { i % items.len() };
+            out.push_str("(vector-ref (list->vector ");
+            render_list(items, depth, out);
+            out.push_str(&format!(") {idx}"));
+            out.push(')');
+        }
+        IntExpr::CharRound(a) => {
+            // (char->integer (integer->char (fxabs (fxremainder e 1000))))
+            out.push_str("(char->integer (integer->char (fxabs (fxremainder ");
+            render_int(a, depth, out);
+            out.push_str(" 1000))))");
+        }
+        IntExpr::Apply1(a) => {
+            out.push_str("((lambda (q) (fx+ q 1)) ");
+            render_int(a, depth, out);
+            out.push(')');
+        }
+    }
+}
+
+fn render_list(items: &[IntExpr], depth: usize, out: &mut String) {
+    out.push_str("(list");
+    for it in items {
+        out.push(' ');
+        render_int(it, depth, out);
+    }
+    out.push(')');
+}
+
+fn bin(out: &mut String, op: &str, a: &IntExpr, b: &IntExpr, depth: usize) {
+    out.push('(');
+    out.push_str(op);
+    out.push(' ');
+    render_int(a, depth, out);
+    out.push(' ');
+    render_int(b, depth, out);
+    out.push(')');
+}
+
+fn safediv(out: &mut String, op: &str, a: &IntExpr, b: &IntExpr, depth: usize) {
+    out.push('(');
+    out.push_str(op);
+    out.push(' ');
+    render_int(a, depth, out);
+    out.push_str(" (fx+ 1 (fxabs (fxremainder ");
+    render_int(b, depth, out);
+    out.push_str(" 100))))");
+}
+
+fn render_bool(e: &BoolExpr, depth: usize, out: &mut String) {
+    match e {
+        BoolExpr::Lit(b) => out.push_str(if *b { "#t" } else { "#f" }),
+        BoolExpr::Lt(a, b) => {
+            out.push_str("(fx< ");
+            render_int(a, depth, out);
+            out.push(' ');
+            render_int(b, depth, out);
+            out.push(')');
+        }
+        BoolExpr::Eq(a, b) => {
+            out.push_str("(fx= ");
+            render_int(a, depth, out);
+            out.push(' ');
+            render_int(b, depth, out);
+            out.push(')');
+        }
+        BoolExpr::Not(a) => {
+            out.push_str("(not ");
+            render_bool(a, depth, out);
+            out.push(')');
+        }
+        BoolExpr::And(a, b) => {
+            out.push_str("(and ");
+            render_bool(a, depth, out);
+            out.push(' ');
+            render_bool(b, depth, out);
+            out.push(')');
+        }
+        BoolExpr::Or(a, b) => {
+            out.push_str("(or ");
+            render_bool(a, depth, out);
+            out.push(' ');
+            render_bool(b, depth, out);
+            out.push(')');
+        }
+        BoolExpr::NullTest(items) => {
+            out.push_str("(null? (cdr (cons 0 ");
+            if items.is_empty() {
+                out.push_str("'()");
+            } else {
+                render_list(items, depth, out);
+            }
+            out.push_str(")))");
+        }
+    }
+}
+
+fn arb_int() -> impl Strategy<Value = IntExpr> {
+    let leaf = prop_oneof![
+        (-1000i32..1000).prop_map(IntExpr::Lit),
+        (0usize..4).prop_map(IntExpr::Var),
+    ];
+    leaf.prop_recursive(5, 64, 4, |inner| {
+        let b = inner.clone();
+        prop_oneof![
+            (inner.clone(), b.clone()).prop_map(|(a, c)| IntExpr::Add(Box::new(a), Box::new(c))),
+            (inner.clone(), b.clone()).prop_map(|(a, c)| IntExpr::Sub(Box::new(a), Box::new(c))),
+            (inner.clone(), b.clone()).prop_map(|(a, c)| IntExpr::Mul(Box::new(a), Box::new(c))),
+            (inner.clone(), b.clone()).prop_map(|(a, c)| IntExpr::Quot(Box::new(a), Box::new(c))),
+            (inner.clone(), b.clone()).prop_map(|(a, c)| IntExpr::Rem(Box::new(a), Box::new(c))),
+            (arb_bool_with(inner.clone()), inner.clone(), b.clone())
+                .prop_map(|(c, t, e)| IntExpr::If(Box::new(c), Box::new(t), Box::new(e))),
+            (inner.clone(), b.clone()).prop_map(|(a, c)| IntExpr::Let(Box::new(a), Box::new(c))),
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(IntExpr::SumList),
+            (inner.clone(), b.clone())
+                .prop_map(|(a, c)| IntExpr::CarCons(Box::new(a), Box::new(c))),
+            (proptest::collection::vec(inner.clone(), 1..4), any::<usize>())
+                .prop_map(|(v, i)| IntExpr::VecRef(v, i)),
+            inner.clone().prop_map(|a| IntExpr::CharRound(Box::new(a))),
+            inner.clone().prop_map(|a| IntExpr::Apply1(Box::new(a))),
+        ]
+    })
+}
+
+fn arb_bool_with(
+    ints: impl Strategy<Value = IntExpr> + Clone + 'static,
+) -> impl Strategy<Value = BoolExpr> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(BoolExpr::Lit),
+        (ints.clone(), ints.clone())
+            .prop_map(|(a, b)| BoolExpr::Lt(Box::new(a), Box::new(b))),
+        (ints.clone(), ints.clone())
+            .prop_map(|(a, b)| BoolExpr::Eq(Box::new(a), Box::new(b))),
+        proptest::collection::vec(ints.clone(), 0..3).prop_map(BoolExpr::NullTest),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| BoolExpr::Not(Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BoolExpr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BoolExpr::Or(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pipelines_agree_on_random_programs(e in arb_int()) {
+        let mut src = String::from("(display ");
+        render_int(&e, 0, &mut src);
+        src.push(')');
+
+        let mut results: Vec<(String, String)> = Vec::new();
+        for (label, cfg) in [
+            ("Traditional", PipelineConfig::traditional()),
+            ("AbstractOpt", PipelineConfig::abstract_optimized()),
+            ("AbstractNoOpt", PipelineConfig::abstract_unoptimized()),
+            ("Ablate(bits)", PipelineConfig::ablated("bits")),
+            ("Ablate(repspec)", PipelineConfig::ablated("repspec")),
+        ] {
+            let out = Compiler::new(cfg)
+                .compile(&src)
+                .unwrap_or_else(|err| panic!("[{label}] compile failed: {err}\n{src}"))
+                .run()
+                .unwrap_or_else(|err| panic!("[{label}] run failed: {err}\n{src}"));
+            results.push((label.to_string(), out.output));
+        }
+        let first = results[0].1.clone();
+        for (label, o) in &results {
+            prop_assert_eq!(o, &first, "{} diverged on:\n{}", label, src);
+        }
+    }
+}
