@@ -1,0 +1,129 @@
+//! Structured diagnostics produced by the rep-safety analyzer.
+
+use std::fmt;
+use sxr_ir::anf::FnId;
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Statically decidable but not a crash: the code is wasteful or
+    /// suspicious (e.g. a representation test with a known outcome).
+    Warning,
+    /// A provable representation-safety violation: executing the operation
+    /// would misinterpret or corrupt memory.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The kind of representation misuse detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagClass {
+    /// A projection/field operation through a representation the subject
+    /// value provably does not have.
+    DisjointRep,
+    /// A memory operation (field load/store/length, specialized load/store,
+    /// header read) on a word that is provably not a tagged heap pointer —
+    /// or any field access through an *immediate* representation.
+    RawMemOnImmediate,
+    /// A constant field index outside the subject's statically-known
+    /// allocation size.
+    IndexOutOfBounds,
+    /// A `%rep-test` whose outcome is statically known.
+    DeadRepTest,
+}
+
+impl DiagClass {
+    /// The severity this class always carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagClass::DeadRepTest => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// Short stable code for filtering / test assertions.
+    pub fn code(self) -> &'static str {
+        match self {
+            DiagClass::DisjointRep => "rep-disjoint",
+            DiagClass::RawMemOnImmediate => "raw-mem-immediate",
+            DiagClass::IndexOutOfBounds => "index-bounds",
+            DiagClass::DeadRepTest => "dead-rep-test",
+        }
+    }
+}
+
+/// One analyzer finding, attributed to the containing function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// What kind of misuse this is.
+    pub class: DiagClass,
+    /// The containing function's index in the module.
+    pub fun: FnId,
+    /// The containing function's diagnostic name, when it has one.
+    pub fun_name: Option<String>,
+    /// Human-readable description (includes representation names and the
+    /// offending operation).
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The severity (derived from the class).
+    pub fn severity(&self) -> Severity {
+        self.class.severity()
+    }
+
+    /// True for error-severity findings.
+    pub fn is_error(&self) -> bool {
+        self.severity() == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}",
+            self.severity(),
+            self.class.code(),
+            self.message
+        )?;
+        match &self.fun_name {
+            Some(n) => write!(f, " (in `{n}`)"),
+            None => write!(f, " (in f{})", self.fun),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_by_class() {
+        assert_eq!(DiagClass::DisjointRep.severity(), Severity::Error);
+        assert_eq!(DiagClass::RawMemOnImmediate.severity(), Severity::Error);
+        assert_eq!(DiagClass::IndexOutOfBounds.severity(), Severity::Error);
+        assert_eq!(DiagClass::DeadRepTest.severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn display_names_function() {
+        let d = Diagnostic {
+            class: DiagClass::DisjointRep,
+            fun: 3,
+            fun_name: Some("car".into()),
+            message: "projection of `pair` value through `fixnum`".into(),
+        };
+        let s = d.to_string();
+        assert!(s.starts_with("error[rep-disjoint]:"), "{s}");
+        assert!(s.contains("(in `car`)"), "{s}");
+    }
+}

@@ -1,0 +1,252 @@
+//! The abstract domain of the rep-safety analyzer.
+//!
+//! An abstract value describes what the analyzer knows about one IR word.
+//! The interesting element is [`AbsVal::Tagged`]: a properly tagged Scheme
+//! value whose representation is one of a known set ([`TagSet`]), possibly
+//! with a known allocation size.  Everything the analyzer cannot prove is
+//! [`AbsVal::Top`] — the lattice is shallow on purpose, since only provable
+//! contradictions may be reported.
+
+use sxr_ir::rep::{RepId, RepRegistry};
+
+/// A set of representation ids, with a distinguished "could be anything
+/// else too" element so ids beyond the bitmask never silently narrow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagSet {
+    bits: u128,
+    /// True if the set may also contain reps not representable in `bits`.
+    unbounded: bool,
+}
+
+impl TagSet {
+    /// The set containing exactly `r`.
+    pub fn singleton(r: RepId) -> TagSet {
+        if r >= 128 {
+            TagSet {
+                bits: 0,
+                unbounded: true,
+            }
+        } else {
+            TagSet {
+                bits: 1u128 << r,
+                unbounded: false,
+            }
+        }
+    }
+
+    /// The set of all representations.
+    pub fn all() -> TagSet {
+        TagSet {
+            bits: 0,
+            unbounded: true,
+        }
+    }
+
+    /// May the value have representation `r`?
+    pub fn contains(&self, r: RepId) -> bool {
+        self.unbounded || (r < 128 && self.bits & (1u128 << r) != 0)
+    }
+
+    /// Is the set provably `{r}` and nothing else?
+    pub fn is_exactly(&self, r: RepId) -> bool {
+        !self.unbounded && r < 128 && self.bits == 1u128 << r
+    }
+
+    /// Is every possible representation an immediate (non-pointer) type?
+    /// False for unbounded or empty sets.
+    pub fn all_immediate(&self, registry: &RepRegistry) -> bool {
+        if self.unbounded || self.bits == 0 {
+            return false;
+        }
+        self.iter().all(|r| !registry.info(r).is_pointer())
+    }
+
+    /// Set union (the lattice join).
+    pub fn union(&self, other: &TagSet) -> TagSet {
+        TagSet {
+            bits: self.bits | other.bits,
+            unbounded: self.unbounded || other.unbounded,
+        }
+    }
+
+    /// Narrow to `{r}` if `r` may be present; `None` if the intersection is
+    /// empty (the branch is unreachable).
+    pub fn narrowed_to(&self, r: RepId) -> Option<TagSet> {
+        if self.contains(r) {
+            Some(TagSet::singleton(r))
+        } else {
+            None
+        }
+    }
+
+    /// Remove `r` (used on the false edge of a representation test). On an
+    /// unbounded set this is a no-op — the complement is not representable.
+    pub fn without(&self, r: RepId) -> TagSet {
+        if self.unbounded || r >= 128 {
+            *self
+        } else {
+            TagSet {
+                bits: self.bits & !(1u128 << r),
+                unbounded: false,
+            }
+        }
+    }
+
+    /// Iterates the known member ids (empty for unbounded sets).
+    pub fn iter(&self) -> impl Iterator<Item = RepId> + '_ {
+        (0..128u32).filter(|r| !self.unbounded && self.bits & (1u128 << r) != 0)
+    }
+
+    /// Human-readable member list, e.g. `` `fixnum` `` or `{`pair`, `null`}``.
+    pub fn describe(&self, registry: &RepRegistry) -> String {
+        if self.unbounded {
+            return "<any>".to_string();
+        }
+        let names: Vec<String> = self
+            .iter()
+            .map(|r| format!("`{}`", registry.info(r).name))
+            .collect();
+        match names.len() {
+            0 => "<none>".to_string(),
+            1 => names.into_iter().next().unwrap(),
+            _ => format!("{{{}}}", names.join(", ")),
+        }
+    }
+}
+
+/// What the analyzer knows about one word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsVal {
+    /// An untagged machine word, possibly with a known constant value
+    /// (constants feed the field-index bounds check).
+    Raw(Option<i64>),
+    /// A first-class representation-type value known at analysis time.
+    Rep(RepId),
+    /// A properly tagged Scheme value: its representation is one of `tags`,
+    /// and if it is a fixed-size allocation the field count is `size`.
+    Tagged {
+        /// The possible representations.
+        tags: TagSet,
+        /// Field count, when the value flows from an allocation with a
+        /// constant size.
+        size: Option<i64>,
+    },
+    /// Anything.
+    Top,
+}
+
+impl AbsVal {
+    /// A tagged value of exactly representation `r` with unknown size.
+    pub fn of_rep(r: RepId) -> AbsVal {
+        AbsVal::Tagged {
+            tags: TagSet::singleton(r),
+            size: None,
+        }
+    }
+
+    /// The lattice join.
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        use AbsVal::*;
+        match (self, other) {
+            (Raw(a), Raw(b)) => Raw(if a == b { *a } else { None }),
+            (Rep(a), Rep(b)) if a == b => Rep(*a),
+            (Tagged { tags: t1, size: s1 }, Tagged { tags: t2, size: s2 }) => Tagged {
+                tags: t1.union(t2),
+                size: if s1 == s2 { *s1 } else { None },
+            },
+            _ => Top,
+        }
+    }
+
+    /// The constant, if this is a known raw word.
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            AbsVal::Raw(c) => *c,
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> (RepRegistry, RepId, RepId) {
+        let mut reg = RepRegistry::new();
+        let fx = reg.intern_immediate("fixnum", 3, 0, 3).unwrap();
+        let pair = reg.intern_pointer("pair", 1, false).unwrap();
+        (reg, fx, pair)
+    }
+
+    #[test]
+    fn singleton_and_contains() {
+        let s = TagSet::singleton(3);
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert!(s.is_exactly(3));
+        assert!(TagSet::all().contains(3));
+        assert!(!TagSet::all().is_exactly(3));
+    }
+
+    #[test]
+    fn huge_rep_ids_stay_conservative() {
+        let s = TagSet::singleton(500);
+        assert!(s.contains(500));
+        assert!(s.contains(0), "unbounded: may be anything");
+        assert!(!s.is_exactly(500));
+    }
+
+    #[test]
+    fn all_immediate_consults_registry() {
+        let (reg, fx, pair) = registry();
+        assert!(TagSet::singleton(fx).all_immediate(&reg));
+        assert!(!TagSet::singleton(pair).all_immediate(&reg));
+        assert!(!TagSet::singleton(fx)
+            .union(&TagSet::singleton(pair))
+            .all_immediate(&reg));
+        assert!(!TagSet::all().all_immediate(&reg));
+    }
+
+    #[test]
+    fn narrowing() {
+        let (_, fx, pair) = registry();
+        let both = TagSet::singleton(fx).union(&TagSet::singleton(pair));
+        assert_eq!(both.narrowed_to(fx), Some(TagSet::singleton(fx)));
+        assert_eq!(both.without(pair), TagSet::singleton(fx));
+        assert_eq!(TagSet::singleton(fx).narrowed_to(pair), None);
+        // Complement of an unbounded set is unrepresentable: no-op.
+        assert_eq!(TagSet::all().without(fx), TagSet::all());
+    }
+
+    #[test]
+    fn joins() {
+        let (_, fx, pair) = registry();
+        assert_eq!(
+            AbsVal::Raw(Some(5)).join(&AbsVal::Raw(Some(5))),
+            AbsVal::Raw(Some(5))
+        );
+        assert_eq!(
+            AbsVal::Raw(Some(5)).join(&AbsVal::Raw(Some(6))),
+            AbsVal::Raw(None)
+        );
+        assert_eq!(AbsVal::Raw(Some(5)).join(&AbsVal::Top), AbsVal::Top);
+        let j = AbsVal::of_rep(fx).join(&AbsVal::of_rep(pair));
+        match j {
+            AbsVal::Tagged { tags, size } => {
+                assert!(tags.contains(fx) && tags.contains(pair));
+                assert_eq!(size, None);
+            }
+            other => panic!("expected tagged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn describe_names() {
+        let (reg, fx, pair) = registry();
+        assert_eq!(TagSet::singleton(fx).describe(&reg), "`fixnum`");
+        let both = TagSet::singleton(fx).union(&TagSet::singleton(pair));
+        let s = both.describe(&reg);
+        assert!(s.contains("`fixnum`") && s.contains("`pair`"), "{s}");
+        assert_eq!(TagSet::all().describe(&reg), "<any>");
+    }
+}

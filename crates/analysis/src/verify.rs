@@ -1,0 +1,502 @@
+//! The inter-pass semantic verifier.
+//!
+//! [`verify_expr`] checks the invariants optimizer passes must preserve on
+//! the *pre-closure-conversion* whole-program expression: lexical scoping
+//! with single assignment, primitive arity, representation-literal
+//! validity, tail discipline (tail calls only in tail position; the
+//! branches of a value-producing `if`/`body` end in `ret`), and the absence
+//! of post-closure-conversion forms.  [`verify_module`] covers the
+//! closure-converted side: the structural checks of
+//! [`sxr_ir::validate_module`] plus representation-registry consistency
+//! (every rep literal and specialized op names a registered rep, and
+//! specialized memory ops only name pointer reps).
+//!
+//! Both are cheap enough to run after every optimizer pass, which turns
+//! "miscompiled benchmark" into "verification failed after pass X" with a
+//! pretty-printed excerpt of the offending binding.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use sxr_ir::anf::{Atom, Bound, Expr, FunDef, GlobalId, Literal, Module, VarId};
+use sxr_ir::pretty::expr_to_string;
+use sxr_ir::prim::PrimOp;
+use sxr_ir::rep::{RepId, RepKind, RepRegistry};
+use sxr_ir::validate_module;
+
+/// A violated inter-pass invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// What went wrong.
+    pub message: String,
+    /// Pretty-printed IR excerpt around the violation, when available.
+    pub excerpt: Option<String>,
+}
+
+impl VerifyError {
+    fn new(message: impl Into<String>) -> VerifyError {
+        VerifyError {
+            message: message.into(),
+            excerpt: None,
+        }
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)?;
+        if let Some(x) = &self.excerpt {
+            write!(f, "\n  in:\n{x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Caps an excerpt to a handful of lines so a huge `if` body does not
+/// drown the message.
+fn excerpt_of(e: &Expr) -> String {
+    let full = expr_to_string(e);
+    let mut lines: Vec<&str> = full.lines().take(6).collect();
+    if full.lines().count() > 6 {
+        lines.push("    ...");
+    }
+    lines.iter().map(|l| format!("    {l}\n")).collect()
+}
+
+struct Verifier<'a> {
+    registry: &'a RepRegistry,
+    defined: HashSet<VarId>,
+}
+
+impl Verifier<'_> {
+    fn check_rep(&self, r: RepId) -> Result<(), VerifyError> {
+        if (r as usize) >= self.registry.len() {
+            return Err(VerifyError::new(format!(
+                "rep id {r} is not registered (registry has {} entries)",
+                self.registry.len()
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_atom(&self, a: &Atom) -> Result<(), VerifyError> {
+        match a {
+            Atom::Var(v) => {
+                if !self.defined.contains(v) {
+                    return Err(VerifyError::new(format!(
+                        "variable v{v} used before definition"
+                    )));
+                }
+                Ok(())
+            }
+            Atom::Lit(Literal::Rep(r)) => self.check_rep(*r),
+            Atom::Lit(_) => Ok(()),
+        }
+    }
+
+    fn define(&mut self, v: VarId) -> Result<(), VerifyError> {
+        if !self.defined.insert(v) {
+            return Err(VerifyError::new(format!(
+                "variable v{v} defined twice (single assignment violated)"
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_fundef(&mut self, l: &FunDef) -> Result<(), VerifyError> {
+        for p in l.params.iter().chain(l.rest.iter()) {
+            self.define(*p)?;
+        }
+        self.check_expr(&l.body, true)
+    }
+
+    fn check_bound(&mut self, b: &Bound) -> Result<(), VerifyError> {
+        match b {
+            Bound::Atom(a) => self.check_atom(a),
+            Bound::Prim(op, args) => {
+                if op.arity() != args.len() {
+                    return Err(VerifyError::new(format!(
+                        "`{op}` takes {} operands, given {}",
+                        op.arity(),
+                        args.len()
+                    )));
+                }
+                match op {
+                    PrimOp::SpecHeader(r)
+                    | PrimOp::SpecAlloc(r)
+                    | PrimOp::SpecRef(r)
+                    | PrimOp::SpecSet(r) => {
+                        self.check_rep(*r)?;
+                        if !matches!(self.registry.info(*r).kind, RepKind::Pointer { .. }) {
+                            return Err(VerifyError::new(format!(
+                                "`{op}` specialized on non-pointer rep `{}`",
+                                self.registry.info(*r).name
+                            )));
+                        }
+                    }
+                    _ => {}
+                }
+                args.iter().try_for_each(|a| self.check_atom(a))
+            }
+            Bound::Call(callee, args) => {
+                self.check_atom(callee)?;
+                args.iter().try_for_each(|a| self.check_atom(a))
+            }
+            Bound::GlobalGet(_) => Ok(()),
+            Bound::GlobalSet(_, a) => self.check_atom(a),
+            Bound::Lambda(l) => self.check_fundef(l),
+            Bound::If(t, then, els) => {
+                self.check_atom(t.atom())?;
+                self.check_expr(then, false)?;
+                self.check_expr(els, false)
+            }
+            Bound::Body(e) => self.check_expr(e, false),
+            Bound::CallKnown(..)
+            | Bound::MakeClosure(..)
+            | Bound::ClosureRef(_)
+            | Bound::ClosurePatch(..) => Err(VerifyError::new(format!(
+                "post-closure-conversion form appeared before closure conversion: {b:?}"
+            ))),
+        }
+    }
+
+    fn check_expr(&mut self, e: &Expr, tail: bool) -> Result<(), VerifyError> {
+        match e {
+            Expr::Let(v, b, body) => {
+                self.check_bound(b).map_err(|mut err| {
+                    if err.excerpt.is_none() {
+                        // Rebuild just this binding for the excerpt.
+                        let one = Expr::Let(*v, b.clone(), Box::new(Expr::Ret(Atom::Var(*v))));
+                        err.excerpt = Some(excerpt_of(&one));
+                    }
+                    err
+                })?;
+                self.define(*v)?;
+                self.check_expr(body, tail)
+            }
+            Expr::If(t, then, els) => {
+                self.check_atom(t.atom())?;
+                self.check_expr(then, tail)?;
+                self.check_expr(els, tail)
+            }
+            Expr::Ret(a) => self.check_atom(a),
+            Expr::TailCall(callee, args) => {
+                if !tail {
+                    return Err(VerifyError::new("tail call in non-tail position"));
+                }
+                self.check_atom(callee)?;
+                args.iter().try_for_each(|a| self.check_atom(a))
+            }
+            Expr::TailCallKnown(..) => Err(VerifyError::new(
+                "post-closure-conversion form appeared before closure conversion: TailCallKnown",
+            )),
+            Expr::LetRec(binds, body) => {
+                for (v, _) in binds {
+                    self.define(*v)?;
+                }
+                for (_, l) in binds {
+                    self.check_fundef(l)?;
+                }
+                self.check_expr(body, tail)
+            }
+        }
+    }
+}
+
+/// Verifies the pre-closure-conversion whole-program expression.
+///
+/// # Errors
+///
+/// Returns the first violated invariant, with an IR excerpt when the
+/// violation sits inside a `let` binding.
+pub fn verify_expr(e: &Expr, registry: &RepRegistry) -> Result<(), VerifyError> {
+    Verifier {
+        registry,
+        defined: HashSet::new(),
+    }
+    .check_expr(e, true)
+}
+
+/// Verifies a closure-converted module: the structural invariants of
+/// [`validate_module`] plus representation-registry consistency — every
+/// rep literal and specialized op must name a registered rep, specialized
+/// memory ops must name pointer reps, and `rep_globals` must only map to
+/// registered ids.
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn verify_module(
+    m: &Module,
+    registry: &RepRegistry,
+    rep_globals: &HashMap<GlobalId, RepId>,
+) -> Result<(), VerifyError> {
+    validate_module(m).map_err(|e| VerifyError::new(e.to_string()))?;
+    let check_rep = |r: RepId| -> Result<(), VerifyError> {
+        if (r as usize) >= registry.len() {
+            return Err(VerifyError::new(format!(
+                "rep id {r} is not registered (registry has {} entries)",
+                registry.len()
+            )));
+        }
+        Ok(())
+    };
+    for (g, r) in rep_globals {
+        check_rep(*r).map_err(|mut e| {
+            e.message = format!("rep-globals table, global {g}: {}", e.message);
+            e
+        })?;
+    }
+    for f in &m.funs {
+        let mut err = None;
+        let name = f.name.as_deref().unwrap_or("anonymous");
+        f.body.for_each_atom(&mut |a| {
+            if err.is_none() {
+                if let Atom::Lit(Literal::Rep(r)) = a {
+                    err = check_rep(*r).err();
+                }
+            }
+        });
+        walk_spec_ops(&f.body, &mut |op, r| {
+            if err.is_some() {
+                return;
+            }
+            err = check_rep(r).err();
+            if err.is_none() && !matches!(registry.info(r).kind, RepKind::Pointer { .. }) {
+                err = Some(VerifyError::new(format!(
+                    "`{op}` specialized on non-pointer rep `{}`",
+                    registry.info(r).name
+                )));
+            }
+        });
+        if let Some(mut e) = err {
+            e.message = format!("in `{name}`: {}", e.message);
+            return Err(e);
+        }
+    }
+    Ok(())
+}
+
+fn walk_spec_ops(e: &Expr, f: &mut impl FnMut(PrimOp, RepId)) {
+    match e {
+        Expr::Let(_, b, body) => {
+            match b {
+                Bound::Prim(op, _) => match op {
+                    PrimOp::SpecHeader(r)
+                    | PrimOp::SpecAlloc(r)
+                    | PrimOp::SpecRef(r)
+                    | PrimOp::SpecSet(r) => f(*op, *r),
+                    _ => {}
+                },
+                Bound::If(_, t, e2) => {
+                    walk_spec_ops(t, f);
+                    walk_spec_ops(e2, f);
+                }
+                Bound::Body(inner) => walk_spec_ops(inner, f),
+                Bound::Lambda(l) => walk_spec_ops(&l.body, f),
+                _ => {}
+            }
+            walk_spec_ops(body, f);
+        }
+        Expr::If(_, t, e2) => {
+            walk_spec_ops(t, f);
+            walk_spec_ops(e2, f);
+        }
+        Expr::LetRec(binds, body) => {
+            for (_, l) in binds {
+                walk_spec_ops(&l.body, f);
+            }
+            walk_spec_ops(body, f);
+        }
+        Expr::Ret(_) | Expr::TailCall(..) | Expr::TailCallKnown(..) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxr_ir::anf::{Fun, Test};
+
+    fn registry() -> (RepRegistry, RepId, RepId) {
+        let mut reg = RepRegistry::new();
+        let fx = reg.intern_immediate("fixnum", 3, 0, 3).unwrap();
+        let pair = reg.intern_pointer("pair", 1, false).unwrap();
+        (reg, fx, pair)
+    }
+
+    #[test]
+    fn accepts_well_formed_pre_cc() {
+        let (reg, fx, _) = registry();
+        let e = Expr::Let(
+            1,
+            Bound::Prim(
+                PrimOp::RepInject,
+                vec![Atom::Lit(Literal::Rep(fx)), Atom::raw(5)],
+            ),
+            Box::new(Expr::Let(
+                2,
+                Bound::Lambda(FunDef {
+                    params: vec![3],
+                    rest: None,
+                    body: Box::new(Expr::Ret(Atom::Var(1))),
+                    name: None,
+                }),
+                Box::new(Expr::TailCall(Atom::Var(2), vec![Atom::Var(1)])),
+            )),
+        );
+        assert!(verify_expr(&e, &reg).is_ok());
+    }
+
+    #[test]
+    fn catches_use_before_definition() {
+        let (reg, _, _) = registry();
+        let e = Expr::Let(
+            1,
+            Bound::Atom(Atom::Var(9)),
+            Box::new(Expr::Ret(Atom::Var(1))),
+        );
+        let err = verify_expr(&e, &reg).unwrap_err();
+        assert!(err.message.contains("v9"), "{err}");
+        assert!(err.excerpt.is_some(), "binding excerpt attached");
+    }
+
+    #[test]
+    fn catches_double_definition() {
+        let (reg, _, _) = registry();
+        let e = Expr::Let(
+            1,
+            Bound::Atom(Atom::raw(1)),
+            Box::new(Expr::Let(
+                1,
+                Bound::Atom(Atom::raw(2)),
+                Box::new(Expr::Ret(Atom::Var(1))),
+            )),
+        );
+        let err = verify_expr(&e, &reg).unwrap_err();
+        assert!(err.message.contains("defined twice"), "{err}");
+    }
+
+    #[test]
+    fn catches_prim_arity() {
+        let (reg, _, _) = registry();
+        let e = Expr::Let(
+            1,
+            Bound::Prim(PrimOp::WordAdd, vec![Atom::raw(1)]),
+            Box::new(Expr::Ret(Atom::Var(1))),
+        );
+        let err = verify_expr(&e, &reg).unwrap_err();
+        assert!(err.message.contains("takes 2 operands"), "{err}");
+    }
+
+    #[test]
+    fn catches_unregistered_rep_literal() {
+        let (reg, _, _) = registry();
+        let e = Expr::Let(
+            1,
+            Bound::Atom(Atom::Lit(Literal::Rep(99))),
+            Box::new(Expr::Ret(Atom::Var(1))),
+        );
+        let err = verify_expr(&e, &reg).unwrap_err();
+        assert!(err.message.contains("rep id 99"), "{err}");
+    }
+
+    #[test]
+    fn catches_tail_call_in_bound_body() {
+        let (reg, _, _) = registry();
+        let e = Expr::Let(
+            1,
+            Bound::Body(Box::new(Expr::TailCall(Atom::raw(0), vec![]))),
+            Box::new(Expr::Ret(Atom::Var(1))),
+        );
+        let err = verify_expr(&e, &reg).unwrap_err();
+        assert!(err.message.contains("non-tail"), "{err}");
+    }
+
+    #[test]
+    fn catches_post_cc_forms_pre_cc() {
+        let (reg, _, _) = registry();
+        let e = Expr::Let(1, Bound::ClosureRef(0), Box::new(Expr::Ret(Atom::Var(1))));
+        let err = verify_expr(&e, &reg).unwrap_err();
+        assert!(err.message.contains("before closure conversion"), "{err}");
+    }
+
+    #[test]
+    fn catches_spec_op_on_immediate_rep() {
+        let (reg, fx, _) = registry();
+        let e = Expr::Let(
+            1,
+            Bound::Prim(PrimOp::SpecRef(fx), vec![Atom::raw(0), Atom::raw(0)]),
+            Box::new(Expr::Ret(Atom::Var(1))),
+        );
+        let err = verify_expr(&e, &reg).unwrap_err();
+        assert!(err.message.contains("non-pointer"), "{err}");
+    }
+
+    fn module_with_body(body: Expr) -> Module {
+        Module {
+            funs: vec![Fun {
+                name: Some("main".into()),
+                self_var: 0,
+                params: vec![],
+                rest: None,
+                free_count: 0,
+                body,
+            }],
+            main: 0,
+            global_names: vec![],
+            var_names: vec![],
+        }
+    }
+
+    #[test]
+    fn module_verification_covers_rep_consistency() {
+        let (reg, _, pair) = registry();
+        let ok = module_with_body(Expr::Let(
+            1,
+            Bound::Prim(PrimOp::SpecAlloc(pair), vec![Atom::raw(2), Atom::raw(0)]),
+            Box::new(Expr::Ret(Atom::Var(1))),
+        ));
+        assert!(verify_module(&ok, &reg, &HashMap::new()).is_ok());
+
+        let bad = module_with_body(Expr::Let(
+            1,
+            Bound::Prim(PrimOp::SpecAlloc(77), vec![Atom::raw(2), Atom::raw(0)]),
+            Box::new(Expr::Ret(Atom::Var(1))),
+        ));
+        let err = verify_module(&bad, &reg, &HashMap::new()).unwrap_err();
+        assert!(err.message.contains("rep id 77"), "{err}");
+
+        let bad_lit = module_with_body(Expr::Ret(Atom::Lit(Literal::Rep(50))));
+        assert!(verify_module(&bad_lit, &reg, &HashMap::new()).is_err());
+
+        let mut rg = HashMap::new();
+        rg.insert(0u32, 60u32);
+        let clean = module_with_body(Expr::Ret(Atom::raw(0)));
+        let err = verify_module(&clean, &reg, &rg).unwrap_err();
+        assert!(err.message.contains("rep-globals"), "{err}");
+    }
+
+    #[test]
+    fn module_verification_wraps_structural_errors() {
+        let (reg, _, _) = registry();
+        let m = module_with_body(Expr::Ret(Atom::Var(42)));
+        let err = verify_module(&m, &reg, &HashMap::new()).unwrap_err();
+        assert!(err.message.contains("undefined variable"), "{err}");
+    }
+
+    #[test]
+    fn conditionals_allow_tail_calls_in_tail_position() {
+        let (reg, _, _) = registry();
+        let e = Expr::Let(
+            1,
+            Bound::Atom(Atom::raw(1)),
+            Box::new(Expr::If(
+                Test::NonZero(Atom::Var(1)),
+                Box::new(Expr::TailCall(Atom::Var(1), vec![])),
+                Box::new(Expr::Ret(Atom::Var(1))),
+            )),
+        );
+        assert!(verify_expr(&e, &reg).is_ok());
+    }
+}

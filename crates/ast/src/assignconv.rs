@@ -44,7 +44,11 @@ pub fn convert_assignments(prog: &mut Program) -> Result<(), String> {
         prog.global_by_name(name)
             .ok_or_else(|| format!("assignment conversion requires library procedure `{name}`"))
     };
-    let ctx = Ctx { boxg: need("box")?, unboxg: need("unbox")?, setboxg: need("set-box!")? };
+    let ctx = Ctx {
+        boxg: need("box")?,
+        unboxg: need("unbox")?,
+        setboxg: need("set-box!")?,
+    };
     let mut var_names = std::mem::take(&mut prog.var_names);
     for item in &mut prog.items {
         let e = std::mem::replace(item_expr_mut(item), Expr::Unspecified);
@@ -93,18 +97,15 @@ fn collect_assigned(e: &Expr, out: &mut HashSet<VarId>) {
         Expr::Seq(es) => es.iter().for_each(|a| collect_assigned(a, out)),
         Expr::SetGlobal(_, inner) => collect_assigned(inner, out),
         Expr::LetRec(binds, body) => {
-            binds.iter().for_each(|(_, l)| collect_assigned(&l.body, out));
+            binds
+                .iter()
+                .for_each(|(_, l)| collect_assigned(&l.body, out));
             collect_assigned(body, out);
         }
     }
 }
 
-fn rewrite(
-    e: Expr,
-    assigned: &HashSet<VarId>,
-    ctx: &Ctx,
-    var_names: &mut Vec<String>,
-) -> Expr {
+fn rewrite(e: Expr, assigned: &HashSet<VarId>, ctx: &Ctx, var_names: &mut Vec<String>) -> Expr {
     match e {
         Expr::Var(v) if assigned.contains(&v) => {
             Expr::Call(Box::new(Expr::Global(ctx.unboxg)), vec![Expr::Var(v)])
@@ -112,7 +113,10 @@ fn rewrite(
         Expr::SetVar(v, inner) => {
             debug_assert!(assigned.contains(&v), "collected all assignments");
             let inner = rewrite(*inner, assigned, ctx, var_names);
-            Expr::Call(Box::new(Expr::Global(ctx.setboxg)), vec![Expr::Var(v), inner])
+            Expr::Call(
+                Box::new(Expr::Global(ctx.setboxg)),
+                vec![Expr::Var(v), inner],
+            )
         }
         Expr::Var(_) | Expr::Const(_) | Expr::Unspecified | Expr::Global(_) => e,
         Expr::If(a, b, c) => Expr::If(
@@ -123,15 +127,21 @@ fn rewrite(
         Expr::Lambda(l) => Expr::Lambda(Box::new(rewrite_lambda(*l, assigned, ctx, var_names))),
         Expr::Call(f, args) => Expr::Call(
             Box::new(rewrite(*f, assigned, ctx, var_names)),
-            args.into_iter().map(|a| rewrite(a, assigned, ctx, var_names)).collect(),
+            args.into_iter()
+                .map(|a| rewrite(a, assigned, ctx, var_names))
+                .collect(),
         ),
         Expr::Prim(n, args) => Expr::Prim(
             n,
-            args.into_iter().map(|a| rewrite(a, assigned, ctx, var_names)).collect(),
+            args.into_iter()
+                .map(|a| rewrite(a, assigned, ctx, var_names))
+                .collect(),
         ),
-        Expr::Seq(es) => {
-            Expr::Seq(es.into_iter().map(|a| rewrite(a, assigned, ctx, var_names)).collect())
-        }
+        Expr::Seq(es) => Expr::Seq(
+            es.into_iter()
+                .map(|a| rewrite(a, assigned, ctx, var_names))
+                .collect(),
+        ),
         Expr::SetGlobal(g, inner) => {
             Expr::SetGlobal(g, Box::new(rewrite(*inner, assigned, ctx, var_names)))
         }
@@ -159,8 +169,7 @@ fn rewrite_lambda(
         if assigned.contains(p) {
             let raw = var_names.len() as VarId;
             var_names.push(format!("{}-raw", var_names[*p as usize]));
-            let boxed =
-                Expr::Call(Box::new(Expr::Global(ctx.boxg)), vec![Expr::Var(raw)]);
+            let boxed = Expr::Call(Box::new(Expr::Global(ctx.boxg)), vec![Expr::Var(raw)]);
             body = Expr::let1(*p, None, boxed, body);
             *p = raw;
         }
@@ -216,14 +225,18 @@ mod tests {
     #[test]
     fn unassigned_programs_untouched() {
         let p1 = convert("(lambda (x) x)");
-        let TopItem::Expr(Expr::Lambda(l)) = &p1.items[0] else { panic!() };
+        let TopItem::Expr(Expr::Lambda(l)) = &p1.items[0] else {
+            panic!()
+        };
         assert_eq!(l.body, Expr::Var(l.params[0]));
     }
 
     #[test]
     fn param_rebinding_structure() {
         let p = convert("(lambda (x) (set! x 1))");
-        let TopItem::Expr(Expr::Lambda(l)) = &p.items[0] else { panic!() };
+        let TopItem::Expr(Expr::Lambda(l)) = &p.items[0] else {
+            panic!()
+        };
         // body is ((lambda (x) (set-box! x 1)) (box x'))
         match &l.body {
             Expr::Call(inner, args) => {
@@ -243,7 +256,9 @@ mod tests {
     #[test]
     fn missing_library_is_error() {
         let mut ex = Expander::new();
-        let unit = ex.expand_unit(&parse_all("(lambda (x) (set! x 1))").unwrap()).unwrap();
+        let unit = ex
+            .expand_unit(&parse_all("(lambda (x) (set! x 1))").unwrap())
+            .unwrap();
         let mut prog = ex.into_program(vec![unit]);
         let err = convert_assignments(&mut prog).unwrap_err();
         assert!(err.contains("box"));

@@ -50,7 +50,12 @@ impl Expr {
     /// Builds `((lambda (v) body) init)` — the core encoding of `let`.
     pub fn let1(v: VarId, name: Option<String>, init: Expr, body: Expr) -> Expr {
         Expr::Call(
-            Box::new(Expr::Lambda(Box::new(Lambda { params: vec![v], rest: None, body, name }))),
+            Box::new(Expr::Lambda(Box::new(Lambda {
+                params: vec![v],
+                rest: None,
+                body,
+                name,
+            }))),
             vec![init],
         )
     }
@@ -113,7 +118,10 @@ pub struct Program {
 impl Program {
     /// Looks up a global slot by name.
     pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
-        self.global_names.iter().position(|n| n == name).map(|i| i as GlobalId)
+        self.global_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| i as GlobalId)
     }
 }
 

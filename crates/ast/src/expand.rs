@@ -16,7 +16,10 @@ pub struct ExpandError {
 
 impl ExpandError {
     fn new(message: impl Into<String>, form: &Datum) -> ExpandError {
-        ExpandError { message: message.into(), form: form.to_string() }
+        ExpandError {
+            message: message.into(),
+            form: form.to_string(),
+        }
     }
 }
 
@@ -38,9 +41,29 @@ pub struct Unit {
 
 /// Names treated as syntax when not lexically shadowed.
 const KEYWORDS: &[&str] = &[
-    "quote", "quasiquote", "unquote", "unquote-splicing", "if", "lambda", "define", "set!",
-    "begin", "let", "let*", "letrec", "letrec*", "cond", "case", "when", "unless", "and", "or",
-    "do", "else", "=>", "define-record-type",
+    "quote",
+    "quasiquote",
+    "unquote",
+    "unquote-splicing",
+    "if",
+    "lambda",
+    "define",
+    "set!",
+    "begin",
+    "let",
+    "let*",
+    "letrec",
+    "letrec*",
+    "cond",
+    "case",
+    "when",
+    "unless",
+    "and",
+    "or",
+    "do",
+    "else",
+    "=>",
+    "define-record-type",
 ];
 
 /// Lexical environment: a chain of scopes.
@@ -51,11 +74,17 @@ struct Env<'a> {
 
 impl<'a> Env<'a> {
     fn root() -> Env<'static> {
-        Env { vars: HashMap::new(), parent: None }
+        Env {
+            vars: HashMap::new(),
+            parent: None,
+        }
     }
 
     fn child(&'a self) -> Env<'a> {
-        Env { vars: HashMap::new(), parent: Some(self) }
+        Env {
+            vars: HashMap::new(),
+            parent: Some(self),
+        }
     }
 
     fn lookup(&self, name: &str) -> Option<VarId> {
@@ -160,7 +189,11 @@ impl Expander {
         for u in units {
             items.extend(u.items);
         }
-        Program { items, var_names: self.var_names, global_names: self.global_names }
+        Program {
+            items,
+            var_names: self.var_names,
+            global_names: self.global_names,
+        }
     }
 
     /// Expands one expression in the empty lexical environment (for tests
@@ -185,7 +218,10 @@ impl Expander {
         name_hint: Option<&str>,
     ) -> Result<Expr, ExpandError> {
         match d {
-            Datum::Fixnum(_) | Datum::Bool(_) | Datum::Char(_) | Datum::String(_)
+            Datum::Fixnum(_)
+            | Datum::Bool(_)
+            | Datum::Char(_)
+            | Datum::String(_)
             | Datum::Vector(_) => Ok(Expr::Const(d.clone())),
             Datum::Symbol(s) => self.expand_var(s, d, env),
             Datum::Improper(..) => Err(ExpandError::new("dotted list in expression position", d)),
@@ -273,7 +309,10 @@ impl Expander {
             },
             "lambda" => {
                 if args.is_empty() {
-                    return Err(ExpandError::new("lambda needs a parameter list and body", d));
+                    return Err(ExpandError::new(
+                        "lambda needs a parameter list and body",
+                        d,
+                    ));
                 }
                 let lam = self.expand_lambda(&args[0], &args[1..], env, name_hint)?;
                 Ok(Expr::Lambda(Box::new(lam)))
@@ -294,7 +333,10 @@ impl Expander {
                     } else if let Some(g) = self.global(name) {
                         Ok(Expr::SetGlobal(g, Box::new(v)))
                     } else {
-                        Err(ExpandError::new(format!("set! of unbound variable `{name}`"), d))
+                        Err(ExpandError::new(
+                            format!("set! of unbound variable `{name}`"),
+                            d,
+                        ))
                     }
                 }
                 _ => Err(ExpandError::new("set! takes a variable and a value", d)),
@@ -307,8 +349,10 @@ impl Expander {
             "let*" => self.expand_let_star(d, args, env),
             "letrec" | "letrec*" => {
                 let binds = parse_bindings(d, args.first())?;
-                let named: Vec<(String, Datum)> =
-                    binds.iter().map(|(n, init)| (n.clone(), init.clone())).collect();
+                let named: Vec<(String, Datum)> = binds
+                    .iter()
+                    .map(|(n, init)| (n.clone(), init.clone()))
+                    .collect();
                 self.expand_letrec(d, &named, &args[1..], env)
             }
             "cond" => self.expand_cond(d, args, env),
@@ -322,7 +366,11 @@ impl Expander {
                     } else {
                         seq(self.expand_all(body, env)?)
                     };
-                    Ok(Expr::If(Box::new(t), Box::new(b), Box::new(Expr::Unspecified)))
+                    Ok(Expr::If(
+                        Box::new(t),
+                        Box::new(b),
+                        Box::new(Expr::Unspecified),
+                    ))
                 }
             },
             "unless" => match args {
@@ -334,7 +382,11 @@ impl Expander {
                     } else {
                         seq(self.expand_all(body, env)?)
                     };
-                    Ok(Expr::If(Box::new(t), Box::new(Expr::Unspecified), Box::new(b)))
+                    Ok(Expr::If(
+                        Box::new(t),
+                        Box::new(Expr::Unspecified),
+                        Box::new(b),
+                    ))
                 }
             },
             "and" => self.expand_and(args, env),
@@ -382,7 +434,10 @@ impl Expander {
         for n in &names {
             let v = self.fresh_var(n);
             if scope.vars.insert(n.to_string(), v).is_some() {
-                return Err(ExpandError::new(format!("duplicate parameter `{n}`"), params));
+                return Err(ExpandError::new(
+                    format!("duplicate parameter `{n}`"),
+                    params,
+                ));
             }
             ids.push(v);
         }
@@ -390,14 +445,22 @@ impl Expander {
             Some(n) => {
                 let v = self.fresh_var(n);
                 if scope.vars.insert(n.clone(), v).is_some() {
-                    return Err(ExpandError::new(format!("duplicate parameter `{n}`"), params));
+                    return Err(ExpandError::new(
+                        format!("duplicate parameter `{n}`"),
+                        params,
+                    ));
                 }
                 Some(v)
             }
             None => None,
         };
         let body = self.expand_body(body, &scope, params)?;
-        Ok(Lambda { params: ids, rest, body, name: name_hint.map(str::to_string) })
+        Ok(Lambda {
+            params: ids,
+            rest,
+            body,
+            name: name_hint.map(str::to_string),
+        })
     }
 
     /// Expands a `<body>`: leading internal defines become a letrec*.
@@ -443,16 +506,17 @@ impl Expander {
             let body = &args[2..];
             // (let loop ((x e) ...) body) =>
             // (letrec ((loop (lambda (x ...) body))) (loop e ...))
-            let lambda = Datum::form(
-                "lambda",
-                {
-                    let params =
-                        Datum::List(binds.iter().map(|(n, _)| Datum::Symbol(n.clone())).collect());
-                    let mut v = vec![params];
-                    v.extend_from_slice(body);
-                    v
-                },
-            );
+            let lambda = Datum::form("lambda", {
+                let params = Datum::List(
+                    binds
+                        .iter()
+                        .map(|(n, _)| Datum::Symbol(n.clone()))
+                        .collect(),
+                );
+                let mut v = vec![params];
+                v.extend_from_slice(body);
+                v
+            });
             let mut scope = env.child();
             let loop_var = self.fresh_var(loop_name);
             scope.vars.insert(loop_name.clone(), loop_var);
@@ -461,12 +525,7 @@ impl Expander {
                 v.extend(binds.iter().map(|(_, init)| init.clone()));
                 v
             });
-            return self.expand_letrec_prebound(
-                d,
-                vec![(loop_var, lambda)],
-                &[call],
-                &scope,
-            );
+            return self.expand_letrec_prebound(d, vec![(loop_var, lambda)], &[call], &scope);
         }
         let binds = parse_bindings(d, args.first())?;
         let body = &args[1..];
@@ -484,7 +543,12 @@ impl Expander {
         }
         let body = self.expand_body(body, &scope, d)?;
         Ok(Expr::Call(
-            Box::new(Expr::Lambda(Box::new(Lambda { params: ids, rest: None, body, name: None }))),
+            Box::new(Expr::Lambda(Box::new(Lambda {
+                params: ids,
+                rest: None,
+                body,
+                name: None,
+            }))),
             inits,
         ))
     }
@@ -534,7 +598,10 @@ impl Expander {
         for (n, init) in binds {
             let v = self.fresh_var(n);
             if scope.vars.insert(n.clone(), v).is_some() {
-                return Err(ExpandError::new(format!("duplicate letrec binding `{n}`"), d));
+                return Err(ExpandError::new(
+                    format!("duplicate letrec binding `{n}`"),
+                    d,
+                ));
             }
             prebound.push((v, init.clone()));
         }
@@ -589,10 +656,18 @@ impl Expander {
         let mut forms = Vec::new();
         for (v, init) in ids.iter().zip(inits) {
             let init = boxify(init, &ids, &unbox_g, &setbox_g);
-            forms.push(Expr::Call(Box::new(setbox_g.clone()), vec![Expr::Var(*v), init]));
+            forms.push(Expr::Call(
+                Box::new(setbox_g.clone()),
+                vec![Expr::Var(*v), init],
+            ));
         }
         forms.push(boxify(body, &ids, &unbox_g, &setbox_g));
-        let lam = Lambda { params: ids.clone(), rest: None, body: seq(forms), name: None };
+        let lam = Lambda {
+            params: ids.clone(),
+            rest: None,
+            body: seq(forms),
+            name: None,
+        };
         let boxes = ids
             .iter()
             .map(|_| Expr::Call(Box::new(box_g.clone()), vec![Expr::Unspecified]))
@@ -751,18 +826,17 @@ impl Expander {
                     v,
                     None,
                     head,
-                    Expr::If(Box::new(Expr::Var(v)), Box::new(Expr::Var(v)), Box::new(tail)),
+                    Expr::If(
+                        Box::new(Expr::Var(v)),
+                        Box::new(Expr::Var(v)),
+                        Box::new(tail),
+                    ),
                 ))
             }
         }
     }
 
-    fn expand_do(
-        &mut self,
-        d: &Datum,
-        args: &[Datum],
-        env: &Env<'_>,
-    ) -> Result<Expr, ExpandError> {
+    fn expand_do(&mut self, d: &Datum, args: &[Datum], env: &Env<'_>) -> Result<Expr, ExpandError> {
         let [specs, exit, commands @ ..] = args else {
             return Err(ExpandError::new("do needs bindings and an exit clause", d));
         };
@@ -773,8 +847,9 @@ impl Expander {
         let mut inits = Vec::new();
         let mut steps = Vec::new();
         for s in specs {
-            let parts =
-                s.as_list().ok_or_else(|| ExpandError::new("bad do binding", s))?;
+            let parts = s
+                .as_list()
+                .ok_or_else(|| ExpandError::new("bad do binding", s))?;
             match parts {
                 [Datum::Symbol(n), init] => {
                     names.push(n.clone());
@@ -945,7 +1020,9 @@ fn flatten_toplevel(forms: &[Datum], out: &mut Vec<Datum>) {
 /// Recognizes `(define name init?)` and `(define (name params...) body...)`.
 /// Returns `Some((name, Some(init-form)))` on a define, `None` otherwise.
 fn parse_define(d: &Datum) -> Result<Option<(String, Option<Datum>)>, ExpandError> {
-    let Datum::List(items) = d else { return Ok(None) };
+    let Datum::List(items) = d else {
+        return Ok(None);
+    };
     if items.first().and_then(Datum::as_symbol) != Some("define") {
         return Ok(None);
     }
@@ -986,10 +1063,7 @@ fn parse_define(d: &Datum) -> Result<Option<(String, Option<Datum>)>, ExpandErro
 }
 
 /// Parses a `((name init) ...)` binding list.
-fn parse_bindings(
-    at: &Datum,
-    binds: Option<&Datum>,
-) -> Result<Vec<(String, Datum)>, ExpandError> {
+fn parse_bindings(at: &Datum, binds: Option<&Datum>) -> Result<Vec<(String, Datum)>, ExpandError> {
     let binds = binds.ok_or_else(|| ExpandError::new("missing binding list", at))?;
     let list = binds
         .as_list()
@@ -1019,7 +1093,9 @@ fn parse_bindings(
 /// When the optimizer can see these definitions they specialize exactly
 /// like the built-in types.
 fn expand_record_type(d: &Datum) -> Result<Vec<Datum>, ExpandError> {
-    let Datum::List(items) = d else { unreachable!("checked by caller") };
+    let Datum::List(items) = d else {
+        unreachable!("checked by caller")
+    };
     let [_, name_d, ctor_d, pred_d, field_ds @ ..] = &items[..] else {
         return Err(ExpandError::new(
             "define-record-type needs a name, constructor, predicate, and fields",
@@ -1060,8 +1136,7 @@ fn expand_record_type(d: &Datum) -> Result<Vec<Datum>, ExpandError> {
     };
     let sym = |s: &str| Datum::Symbol(s.to_string());
     let fix = |n: usize| Datum::Fixnum(n as i64);
-    let project_fix =
-        |n: usize| Datum::form("%rep-project", vec![sym("fixnum-rep"), fix(n)]);
+    let project_fix = |n: usize| Datum::form("%rep-project", vec![sym("fixnum-rep"), fix(n)]);
 
     let mut out = Vec::new();
     // (define <name> (%make-pointer-type '<name> record-tag #t))
@@ -1071,7 +1146,11 @@ fn expand_record_type(d: &Datum) -> Result<Vec<Datum>, ExpandError> {
             sym(name),
             Datum::form(
                 "%make-pointer-type",
-                vec![Datum::quoted(sym(name)), sym("record-tag"), Datum::Bool(true)],
+                vec![
+                    Datum::quoted(sym(name)),
+                    sym("record-tag"),
+                    Datum::Bool(true),
+                ],
             ),
         ],
     ));
@@ -1115,7 +1194,10 @@ fn expand_record_type(d: &Datum) -> Result<Vec<Datum>, ExpandError> {
             Datum::List(vec![sym(pred), sym("x")]),
             Datum::form(
                 "%rep-inject",
-                vec![sym("boolean-rep"), Datum::form("%rep-test", vec![sym(name), sym("x")])],
+                vec![
+                    sym("boolean-rep"),
+                    Datum::form("%rep-test", vec![sym(name), sym("x")]),
+                ],
             ),
         ],
     ));
@@ -1173,9 +1255,7 @@ fn boxify(e: Expr, ids: &[VarId], unbox_g: &Expr, setbox_g: &Expr) -> Expr {
             Expr::Call(Box::new(setbox_g.clone()), vec![Expr::Var(v), inner])
         }
         Expr::Var(_) | Expr::Const(_) | Expr::Unspecified | Expr::Global(_) => e,
-        Expr::SetVar(v, inner) => {
-            Expr::SetVar(v, Box::new(boxify(*inner, ids, unbox_g, setbox_g)))
-        }
+        Expr::SetVar(v, inner) => Expr::SetVar(v, Box::new(boxify(*inner, ids, unbox_g, setbox_g))),
         Expr::If(a, b, c) => Expr::If(
             Box::new(boxify(*a, ids, unbox_g, setbox_g)),
             Box::new(boxify(*b, ids, unbox_g, setbox_g)),
@@ -1188,15 +1268,21 @@ fn boxify(e: Expr, ids: &[VarId], unbox_g: &Expr, setbox_g: &Expr) -> Expr {
         }
         Expr::Call(f, args) => Expr::Call(
             Box::new(boxify(*f, ids, unbox_g, setbox_g)),
-            args.into_iter().map(|a| boxify(a, ids, unbox_g, setbox_g)).collect(),
+            args.into_iter()
+                .map(|a| boxify(a, ids, unbox_g, setbox_g))
+                .collect(),
         ),
         Expr::Prim(n, args) => Expr::Prim(
             n,
-            args.into_iter().map(|a| boxify(a, ids, unbox_g, setbox_g)).collect(),
+            args.into_iter()
+                .map(|a| boxify(a, ids, unbox_g, setbox_g))
+                .collect(),
         ),
-        Expr::Seq(es) => {
-            Expr::Seq(es.into_iter().map(|a| boxify(a, ids, unbox_g, setbox_g)).collect())
-        }
+        Expr::Seq(es) => Expr::Seq(
+            es.into_iter()
+                .map(|a| boxify(a, ids, unbox_g, setbox_g))
+                .collect(),
+        ),
         Expr::SetGlobal(g, inner) => {
             Expr::SetGlobal(g, Box::new(boxify(*inner, ids, unbox_g, setbox_g)))
         }
@@ -1220,7 +1306,18 @@ mod tests {
 
     fn expander_with_lib() -> Expander {
         let mut ex = Expander::new();
-        for g in ["cons", "append", "list->vector", "eqv?", "box", "unbox", "set-box!", "fx+", "fx-", "fx<"] {
+        for g in [
+            "cons",
+            "append",
+            "list->vector",
+            "eqv?",
+            "box",
+            "unbox",
+            "set-box!",
+            "fx+",
+            "fx-",
+            "fx<",
+        ] {
             ex.declare_global(g);
         }
         ex
@@ -1246,7 +1343,10 @@ mod tests {
     fn constants() {
         assert_eq!(expand1("42"), Expr::Const(Datum::Fixnum(42)));
         assert_eq!(expand1("#t"), Expr::Const(Datum::Bool(true)));
-        assert_eq!(expand1("'(a b)"), Expr::Const(Datum::List(vec!["a".into(), "b".into()])));
+        assert_eq!(
+            expand1("'(a b)"),
+            Expr::Const(Datum::List(vec!["a".into(), "b".into()]))
+        );
     }
 
     #[test]
@@ -1381,7 +1481,9 @@ mod tests {
         let mut ex = expander_with_lib();
         let forms = parse_all("(lambda (x) `(1 ,x))").unwrap();
         let unit = ex.expand_unit(&forms).unwrap();
-        let TopItem::Expr(Expr::Lambda(l)) = &unit.items[0] else { panic!() };
+        let TopItem::Expr(Expr::Lambda(l)) = &unit.items[0] else {
+            panic!()
+        };
         match &l.body {
             Expr::Call(f, args) => {
                 assert!(matches!(**f, Expr::Global(_)));
@@ -1433,7 +1535,9 @@ mod tests {
         let mut ex = expander_with_lib();
         let forms = parse_all("(define (id x) x)").unwrap();
         let unit = ex.expand_unit(&forms).unwrap();
-        let TopItem::Def(_, Expr::Lambda(l)) = &unit.items[0] else { panic!() };
+        let TopItem::Def(_, Expr::Lambda(l)) = &unit.items[0] else {
+            panic!()
+        };
         assert_eq!(l.name.as_deref(), Some("id"));
     }
 
@@ -1465,8 +1569,12 @@ mod tests {
         assert!(l.rest.is_some());
 
         let mut ex = expander_with_lib();
-        let unit = ex.expand_unit(&parse_all("(define (f a . xs) xs)").unwrap()).unwrap();
-        let TopItem::Def(_, Expr::Lambda(l)) = &unit.items[0] else { panic!() };
+        let unit = ex
+            .expand_unit(&parse_all("(define (f a . xs) xs)").unwrap())
+            .unwrap();
+        let TopItem::Def(_, Expr::Lambda(l)) = &unit.items[0] else {
+            panic!()
+        };
         assert_eq!(l.params.len(), 1);
         assert!(l.rest.is_some());
     }
@@ -1482,7 +1590,9 @@ mod tests {
         assert!(expand_err("(if)").message.contains("if takes"));
         assert!(expand_err("(set! 3 4)").message.contains("set!"));
         assert!(expand_err("(let ((x)) x)").message.contains("bad binding"));
-        assert!(expand_err("(lambda (x) (define y 1))").message.contains("only definitions"));
+        assert!(expand_err("(lambda (x) (define y 1))")
+            .message
+            .contains("only definitions"));
     }
 
     #[test]
@@ -1508,10 +1618,16 @@ mod tests {
     #[test]
     fn global_ids_stable_across_units() {
         let mut ex = Expander::new();
-        let u1 = ex.expand_unit(&parse_all("(define lib 10)").unwrap()).unwrap();
+        let u1 = ex
+            .expand_unit(&parse_all("(define lib 10)").unwrap())
+            .unwrap();
         let u2 = ex.expand_unit(&parse_all("lib").unwrap()).unwrap();
-        let TopItem::Def(g, _) = u1.items[0] else { panic!() };
-        let TopItem::Expr(Expr::Global(g2)) = u2.items[0] else { panic!() };
+        let TopItem::Def(g, _) = u1.items[0] else {
+            panic!()
+        };
+        let TopItem::Expr(Expr::Global(g2)) = u2.items[0] else {
+            panic!()
+        };
         assert_eq!(g, g2);
         let p = ex.into_program(vec![u1, u2]);
         assert_eq!(p.global_names, vec!["lib".to_string()]);

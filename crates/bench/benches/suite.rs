@@ -1,15 +1,22 @@
-//! Wall-clock benchmarks (Criterion): each suite program under each
-//! pipeline configuration. Programs are compiled once; the measured unit
-//! is a fresh machine executing the program.
+//! Wall-clock benchmarks: each suite program under each pipeline
+//! configuration. Programs are compiled once; the measured unit is a fresh
+//! machine executing the program.
+//!
+//! This is a plain `harness = false` bench (the build environment is
+//! offline, so no external benchmarking crates): each (program, config)
+//! pair is warmed up once and then timed over a fixed number of
+//! iterations, reporting the per-iteration mean.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
 use sxr::{Compiler, PipelineConfig};
 use sxr_bench::BENCHMARKS;
 
-fn bench_suite(c: &mut Criterion) {
+const WARMUP: usize = 2;
+const ITERS: usize = 10;
+
+fn main() {
+    println!("{:<12} {:<15} {:>12}", "bench", "config", "mean");
     for b in BENCHMARKS {
-        let mut group = c.benchmark_group(b.name);
-        group.sample_size(10);
         for (label, cfg) in [
             ("traditional", PipelineConfig::traditional()),
             ("abstract-opt", PipelineConfig::abstract_optimized()),
@@ -18,17 +25,20 @@ fn bench_suite(c: &mut Criterion) {
             let compiled = Compiler::new(cfg)
                 .compile(b.source)
                 .unwrap_or_else(|e| panic!("{}: {e}", b.name));
-            group.bench_function(label, |bench| {
-                bench.iter(|| {
-                    let mut m = compiled.machine().expect("loads");
-                    let w = m.run().expect("runs");
-                    std::hint::black_box(w)
-                })
-            });
+            let run_once = || {
+                let mut m = compiled.machine().expect("loads");
+                let w = m.run().expect("runs");
+                std::hint::black_box(w);
+            };
+            for _ in 0..WARMUP {
+                run_once();
+            }
+            let start = Instant::now();
+            for _ in 0..ITERS {
+                run_once();
+            }
+            let mean = start.elapsed() / ITERS as u32;
+            println!("{:<12} {:<15} {:>10.3?}", b.name, label, mean);
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_suite);
-criterion_main!(benches);

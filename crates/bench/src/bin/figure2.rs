@@ -33,7 +33,10 @@ fn program(n: usize, generic: bool) -> String {
 fn main() {
     println!("Figure 2: instructions per field access, record size sweep");
     println!();
-    println!("{:<6} {:>12} {:>10} {:>8}", "fields", "specialized", "generic", "ratio");
+    println!(
+        "{:<6} {:>12} {:>10} {:>8}",
+        "fields", "specialized", "generic", "ratio"
+    );
     println!("{}", "-".repeat(40));
     for n in [1usize, 2, 4, 8, 16, 32] {
         let run = |generic: bool| {

@@ -9,7 +9,10 @@ fn main() {
     let rows = table1_rows().expect("all configurations compile");
     println!("Table 1: static instruction counts per primitive (body incl. return)");
     println!();
-    println!("{:<16} {:>12} {:>12} {:>6} {:>14} {:>6}", "primitive", "Traditional", "AbstractOpt", "Δ", "AbstractNoOpt", "×");
+    println!(
+        "{:<16} {:>12} {:>12} {:>6} {:>14} {:>6}",
+        "primitive", "Traditional", "AbstractOpt", "Δ", "AbstractNoOpt", "×"
+    );
     println!("{}", "-".repeat(72));
     let (mut eq, mut within1) = (0, 0);
     for r in &rows {

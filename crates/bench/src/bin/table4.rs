@@ -11,7 +11,10 @@ use sxr_bench::BENCHMARKS;
 fn main() {
     println!("Table 4: cost of library-level safety (checked / unchecked, AbstractOpt)");
     println!();
-    println!("{:<8} {:>12} {:>12} {:>7}", "bench", "unchecked", "checked", "ratio");
+    println!(
+        "{:<8} {:>12} {:>12} {:>7}",
+        "bench", "unchecked", "checked", "ratio"
+    );
     println!("{}", "-".repeat(44));
     let mut prod = 1.0f64;
     for b in BENCHMARKS {
@@ -38,5 +41,8 @@ fn main() {
         );
     }
     println!("{}", "-".repeat(44));
-    println!("geomean ratio: {:.2}", prod.powf(1.0 / BENCHMARKS.len() as f64));
+    println!(
+        "geomean ratio: {:.2}",
+        prod.powf(1.0 / BENCHMARKS.len() as f64)
+    );
 }

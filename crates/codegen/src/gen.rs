@@ -113,9 +113,9 @@ fn encode_role_imm(reg: &RepRegistry, role: &str, payload: i64) -> Result<i64, C
         .ok_or_else(|| CodegenError(format!("library provided no `{role}` representation")))?;
     match reg.info(id).kind {
         RepKind::Immediate { .. } => Ok(reg.encode_immediate(id, payload)),
-        RepKind::Pointer { .. } => {
-            Err(CodegenError(format!("role `{role}` must be an immediate representation")))
-        }
+        RepKind::Pointer { .. } => Err(CodegenError(format!(
+            "role `{role}` must be an immediate representation"
+        ))),
     }
 }
 
@@ -125,9 +125,9 @@ fn ptr_tag(reg: &RepRegistry, role: &str) -> Result<i64, CodegenError> {
         .ok_or_else(|| CodegenError(format!("library provided no `{role}` representation")))?;
     match reg.info(id).kind {
         RepKind::Pointer { tag, .. } => Ok(tag as i64),
-        RepKind::Immediate { .. } => {
-            Err(CodegenError(format!("role `{role}` must be a pointer representation")))
-        }
+        RepKind::Immediate { .. } => Err(CodegenError(format!(
+            "role `{role}` must be a pointer representation"
+        ))),
     }
 }
 
@@ -168,9 +168,10 @@ impl Shared<'_> {
             Literal::Unspecified => Enc::Imm(self.unspec_word, Kind::Tagged),
             Literal::Rep(r) => Enc::Pool(self.pool_slot(PoolKey::Rep(*r))),
             Literal::Datum(d) => match d {
-                Datum::Fixnum(n) => {
-                    Enc::Imm(encode_role_imm(self.registry, roles::FIXNUM, *n)?, Kind::Tagged)
-                }
+                Datum::Fixnum(n) => Enc::Imm(
+                    encode_role_imm(self.registry, roles::FIXNUM, *n)?,
+                    Kind::Tagged,
+                ),
                 Datum::Bool(b) => Enc::Imm(
                     encode_role_imm(self.registry, roles::BOOLEAN, *b as i64)?,
                     Kind::Tagged,
@@ -179,9 +180,10 @@ impl Shared<'_> {
                     encode_role_imm(self.registry, roles::CHAR, *c as i64)?,
                     Kind::Tagged,
                 ),
-                Datum::List(items) if items.is_empty() => {
-                    Enc::Imm(encode_role_imm(self.registry, roles::NULL, 0)?, Kind::Tagged)
-                }
+                Datum::List(items) if items.is_empty() => Enc::Imm(
+                    encode_role_imm(self.registry, roles::NULL, 0)?,
+                    Kind::Tagged,
+                ),
                 other => Enc::Pool(self.pool_slot(PoolKey::Datum(other.clone()))),
             },
         })
@@ -257,7 +259,9 @@ impl<'a, 'b> FnGen<'a, 'b> {
     fn fresh_reg(&mut self, kind: Kind) -> Result<Reg, CodegenError> {
         let r = self.kinds.len();
         if r > u16::MAX as usize {
-            return Err(CodegenError("function needs more than 65536 registers".to_string()));
+            return Err(CodegenError(
+                "function needs more than 65536 registers".to_string(),
+            ));
         }
         self.kinds.push(kind);
         Ok(r as Reg)
@@ -344,8 +348,7 @@ impl<'a, 'b> FnGen<'a, 'b> {
             Expr::Let(v, b, body) => {
                 // Compare-and-branch fusion: a single-use comparison feeding
                 // the immediately following raw test.
-                if let Bound::Prim(op @ (PrimOp::WordEq | PrimOp::WordLt | PrimOp::PtrEq), args) =
-                    b
+                if let Bound::Prim(op @ (PrimOp::WordEq | PrimOp::WordLt | PrimOp::PtrEq), args) = b
                 {
                     if self.used_once(*v) {
                         match &**body {
@@ -429,12 +432,16 @@ impl<'a, 'b> FnGen<'a, 'b> {
                 }
                 let cr = self.atom_reg(clo)?;
                 let argr = self.atom_regs(args)?;
-                self.insts.push(Inst::TailCallKnown { f: *fid, clo: cr, args: argr });
+                self.insts.push(Inst::TailCallKnown {
+                    f: *fid,
+                    clo: cr,
+                    args: argr,
+                });
                 Ok(())
             }
-            Expr::LetRec(..) => {
-                Err(CodegenError("letrec reached the code generator".to_string()))
-            }
+            Expr::LetRec(..) => Err(CodegenError(
+                "letrec reached the code generator".to_string(),
+            )),
         }
     }
 
@@ -550,14 +557,23 @@ impl<'a, 'b> FnGen<'a, 'b> {
                 let fr = self.atom_reg(f)?;
                 let argr = self.atom_regs(args)?;
                 let d = self.define(v, Kind::Tagged)?;
-                self.insts.push(Inst::Call { d, f: fr, args: argr });
+                self.insts.push(Inst::Call {
+                    d,
+                    f: fr,
+                    args: argr,
+                });
                 Ok(())
             }
             Bound::CallKnown(fid, clo, args) => {
                 let cr = self.atom_reg(clo)?;
                 let argr = self.atom_regs(args)?;
                 let d = self.define(v, Kind::Tagged)?;
-                self.insts.push(Inst::CallKnown { d, f: *fid, clo: cr, args: argr });
+                self.insts.push(Inst::CallKnown {
+                    d,
+                    f: *fid,
+                    clo: cr,
+                    args: argr,
+                });
                 Ok(())
             }
             Bound::GlobalGet(g) => {
@@ -570,13 +586,17 @@ impl<'a, 'b> FnGen<'a, 'b> {
                 self.insts.push(Inst::GlobalSet { g: *g, s });
                 self.bind_unspec_if_used(v)
             }
-            Bound::Lambda(_) => {
-                Err(CodegenError("nested lambda reached the code generator".to_string()))
-            }
+            Bound::Lambda(_) => Err(CodegenError(
+                "nested lambda reached the code generator".to_string(),
+            )),
             Bound::MakeClosure(fid, frees) => {
                 let freer = self.atom_regs(frees)?;
                 let d = self.define(v, Kind::Tagged)?;
-                self.insts.push(Inst::MakeClosure { d, f: *fid, free: freer });
+                self.insts.push(Inst::MakeClosure {
+                    d,
+                    f: *fid,
+                    free: freer,
+                });
                 Ok(())
             }
             Bound::ClosureRef(i) => {
@@ -588,7 +608,11 @@ impl<'a, 'b> FnGen<'a, 'b> {
             Bound::ClosurePatch(c, i, x) => {
                 let cr = self.atom_reg(c)?;
                 let xr = self.atom_reg(x)?;
-                self.insts.push(Inst::ClosureSet { clo: cr, idx: *i as u32, val: xr });
+                self.insts.push(Inst::ClosureSet {
+                    clo: cr,
+                    idx: *i as u32,
+                    val: xr,
+                });
                 self.bind_unspec_if_used(v)
             }
             Bound::If(test, t, els) => {
@@ -654,7 +678,12 @@ impl<'a, 'b> FnGen<'a, 'b> {
                 let imm = self.atom_imm(&args[1])?;
                 let d = self.define(v, Kind::Raw)?;
                 match imm {
-                    Some(i) => self.insts.push(Inst::BinI { op: o, d, a, imm: i }),
+                    Some(i) => self.insts.push(Inst::BinI {
+                        op: o,
+                        d,
+                        a,
+                        imm: i,
+                    }),
                     None => {
                         let b = self.atom_reg(&args[1])?;
                         self.insts.push(Inst::Bin { op: o, d, a, b });
@@ -676,7 +705,12 @@ impl<'a, 'b> FnGen<'a, 'b> {
                 };
                 let fill = self.atom_reg(&args[1])?;
                 let d = self.define(v, Kind::Tagged)?;
-                self.insts.push(Inst::AllocFill { d, len, fill, rep: rid });
+                self.insts.push(Inst::AllocFill {
+                    d,
+                    len,
+                    fill,
+                    rep: rid,
+                });
                 Ok(())
             }
             SpecRef(rid) => {
@@ -685,12 +719,19 @@ impl<'a, 'b> FnGen<'a, 'b> {
                 let off = self.atom_imm(&args[1])?;
                 let d = self.define(v, Kind::Tagged)?;
                 match off {
-                    Some(byteoff) => {
-                        self.insts.push(Inst::LoadD { d, p, disp: byteoff + 8 - tag })
-                    }
+                    Some(byteoff) => self.insts.push(Inst::LoadD {
+                        d,
+                        p,
+                        disp: byteoff + 8 - tag,
+                    }),
                     None => {
                         let x = self.atom_reg(&args[1])?;
-                        self.insts.push(Inst::LoadX { d, p, x, disp: 8 - tag });
+                        self.insts.push(Inst::LoadX {
+                            d,
+                            p,
+                            x,
+                            disp: 8 - tag,
+                        });
                     }
                 }
                 Ok(())
@@ -701,12 +742,19 @@ impl<'a, 'b> FnGen<'a, 'b> {
                 let off = self.atom_imm(&args[1])?;
                 let s = self.atom_reg(&args[2])?;
                 match off {
-                    Some(byteoff) => {
-                        self.insts.push(Inst::StoreD { p, disp: byteoff + 8 - tag, s })
-                    }
+                    Some(byteoff) => self.insts.push(Inst::StoreD {
+                        p,
+                        disp: byteoff + 8 - tag,
+                        s,
+                    }),
                     None => {
                         let x = self.atom_reg(&args[1])?;
-                        self.insts.push(Inst::StoreX { p, x, disp: 8 - tag, s });
+                        self.insts.push(Inst::StoreX {
+                            p,
+                            x,
+                            disp: 8 - tag,
+                            s,
+                        });
                     }
                 }
                 self.bind_unspec_if_used(v)
@@ -732,7 +780,11 @@ impl<'a, 'b> FnGen<'a, 'b> {
                     _ => Kind::Tagged,
                 };
                 let d = self.define(v, kind)?;
-                self.insts.push(Inst::Rep { op: o, d, args: argr });
+                self.insts.push(Inst::Rep {
+                    op: o,
+                    d,
+                    args: argr,
+                });
                 Ok(())
             }
             Intern => {

@@ -35,10 +35,7 @@ impl std::error::Error for IntrinsicError {}
 ///
 /// Returns [`IntrinsicError`] when a required representation role is
 /// missing.
-pub fn lower_intrinsics(
-    module: &mut Module,
-    registry: &RepRegistry,
-) -> Result<(), IntrinsicError> {
+pub fn lower_intrinsics(module: &mut Module, registry: &RepRegistry) -> Result<(), IntrinsicError> {
     let mut supply = NameSupply::from_names(std::mem::take(&mut module.var_names));
     let ctx = Ctx::new(registry)?;
     for f in module.funs.iter_mut() {
@@ -100,9 +97,15 @@ impl Ctx {
                 .role(role)
                 .ok_or_else(|| IntrinsicError(format!("missing role `{role}`")))?;
             match reg.info(id).kind {
-                RepKind::Immediate { tag_bits, tag, shift } => {
-                    Ok(Imm { tag_bits, tag: tag as i64, shift })
-                }
+                RepKind::Immediate {
+                    tag_bits,
+                    tag,
+                    shift,
+                } => Ok(Imm {
+                    tag_bits,
+                    tag: tag as i64,
+                    shift,
+                }),
                 _ => Err(IntrinsicError(format!("role `{role}` must be immediate"))),
             }
         };
@@ -111,7 +114,10 @@ impl Ctx {
                 .role(role)
                 .ok_or_else(|| IntrinsicError(format!("missing role `{role}`")))?;
             match reg.info(id).kind {
-                RepKind::Pointer { tag, .. } => Ok(Ptr { id, tag: tag as i64 }),
+                RepKind::Pointer { tag, .. } => Ok(Ptr {
+                    id,
+                    tag: tag as i64,
+                }),
                 _ => Err(IntrinsicError(format!("role `{role}` must be a pointer"))),
             }
         };
@@ -137,7 +143,10 @@ struct Seq<'a> {
 
 impl<'a> Seq<'a> {
     fn new(supply: &'a mut NameSupply) -> Seq<'a> {
-        Seq { steps: Vec::new(), supply }
+        Seq {
+            steps: Vec::new(),
+            supply,
+        }
     }
 
     fn prim(&mut self, op: PrimOp, args: Vec<Atom>) -> Atom {
@@ -235,24 +244,31 @@ fn inject_fixnum(s: &mut Seq<'_>, fx: Imm, a: Atom) -> Atom {
     }
 }
 
-fn expand(
-    i: Intrinsic,
-    args: &[Atom],
-    ctx: &Ctx,
-    s: &mut Seq<'_>,
-) -> Atom {
+fn expand(i: Intrinsic, args: &[Atom], ctx: &Ctx, s: &mut Seq<'_>) -> Atom {
     use Intrinsic::*;
     let fx = ctx.fx;
     match i {
         Car => s.prim(PrimOp::SpecRef(ctx.pair.id), vec![args[0].clone(), raw(0)]),
         Cdr => s.prim(PrimOp::SpecRef(ctx.pair.id), vec![args[0].clone(), raw(8)]),
         Cons => {
-            let p = s.prim(PrimOp::SpecAlloc(ctx.pair.id), vec![raw(2), args[0].clone()]);
-            let _ = s.prim(PrimOp::SpecSet(ctx.pair.id), vec![p.clone(), raw(8), args[1].clone()]);
+            let p = s.prim(
+                PrimOp::SpecAlloc(ctx.pair.id),
+                vec![raw(2), args[0].clone()],
+            );
+            let _ = s.prim(
+                PrimOp::SpecSet(ctx.pair.id),
+                vec![p.clone(), raw(8), args[1].clone()],
+            );
             p
         }
-        SetCar => s.prim(PrimOp::SpecSet(ctx.pair.id), vec![args[0].clone(), raw(0), args[1].clone()]),
-        SetCdr => s.prim(PrimOp::SpecSet(ctx.pair.id), vec![args[0].clone(), raw(8), args[1].clone()]),
+        SetCar => s.prim(
+            PrimOp::SpecSet(ctx.pair.id),
+            vec![args[0].clone(), raw(0), args[1].clone()],
+        ),
+        SetCdr => s.prim(
+            PrimOp::SpecSet(ctx.pair.id),
+            vec![args[0].clone(), raw(8), args[1].clone()],
+        ),
         IsPair => ptr_test(s, ctx, ctx.pair, args[0].clone()),
         IsNull => imm_test(s, ctx, ctx.null, args[0].clone()),
         IsFixnum => imm_test(s, ctx, fx, args[0].clone()),
@@ -316,7 +332,10 @@ fn expand(
         }
         VectorSet => {
             let off = fixnum_to_byteoff(s, fx, args[1].clone());
-            s.prim(PrimOp::SpecSet(ctx.vector.id), vec![args[0].clone(), off, args[2].clone()])
+            s.prim(
+                PrimOp::SpecSet(ctx.vector.id),
+                vec![args[0].clone(), off, args[2].clone()],
+            )
         }
         VectorLength => {
             let h = s.prim(PrimOp::SpecHeader(ctx.vector.id), vec![args[0].clone()]);
@@ -333,7 +352,10 @@ fn expand(
         }
         StringSet => {
             let off = fixnum_to_byteoff(s, fx, args[1].clone());
-            s.prim(PrimOp::SpecSet(ctx.string.id), vec![args[0].clone(), off, args[2].clone()])
+            s.prim(
+                PrimOp::SpecSet(ctx.string.id),
+                vec![args[0].clone(), off, args[2].clone()],
+            )
         }
         StringLength => {
             let h = s.prim(PrimOp::SpecHeader(ctx.string.id), vec![args[0].clone()]);
@@ -348,10 +370,7 @@ fn expand(
             let ch = ctx.char_;
             // `(c >> (cs - fs))` yields the fixnum directly when the fixnum
             // tag is 0 and the char tag's surviving bits are all zero.
-            if fx.tag == 0
-                && ch.shift > fx.shift
-                && (ch.tag >> (ch.shift - fx.shift)) == 0
-            {
+            if fx.tag == 0 && ch.shift > fx.shift && (ch.tag >> (ch.shift - fx.shift)) == 0 {
                 return s.prim(
                     PrimOp::WordShr,
                     vec![args[0].clone(), raw((ch.shift - fx.shift) as i64)],
@@ -367,7 +386,11 @@ fn expand(
                     PrimOp::WordShl,
                     vec![args[0].clone(), raw((ch.shift - fx.shift) as i64)],
                 );
-                return if ch.tag == 0 { t } else { s.prim(PrimOp::WordOr, vec![t, raw(ch.tag)]) };
+                return if ch.tag == 0 {
+                    t
+                } else {
+                    s.prim(PrimOp::WordOr, vec![t, raw(ch.tag)])
+                };
             }
             let p = project_fixnum(s, fx, args[0].clone());
             let t = s.prim(PrimOp::WordShl, vec![p, raw(ch.shift as i64)]);
@@ -377,7 +400,10 @@ fn expand(
                 s.prim(PrimOp::WordOr, vec![t, raw(ch.tag)])
             }
         }
-        SymbolToString => s.prim(PrimOp::SpecRef(ctx.symbol.id), vec![args[0].clone(), raw(0)]),
+        SymbolToString => s.prim(
+            PrimOp::SpecRef(ctx.symbol.id),
+            vec![args[0].clone(), raw(0)],
+        ),
     }
 }
 
@@ -433,7 +459,9 @@ mod tests {
         let bo = reg.intern_immediate("boolean", 8, 0b0000_0010, 8).unwrap();
         let ch = reg.intern_immediate("char", 8, 0b0001_0010, 8).unwrap();
         let nil = reg.intern_immediate("null", 8, 0b0010_0010, 8).unwrap();
-        let un = reg.intern_immediate("unspecified", 8, 0b0011_0010, 8).unwrap();
+        let un = reg
+            .intern_immediate("unspecified", 8, 0b0011_0010, 8)
+            .unwrap();
         let pair = reg.intern_pointer("pair", 1, false).unwrap();
         let vecr = reg.intern_pointer("vector", 3, false).unwrap();
         let st = reg.intern_pointer("string", 5, false).unwrap();
@@ -492,14 +520,20 @@ mod tests {
     fn car_is_one_op() {
         let e = lower_one(Intrinsic::Car, 1);
         assert_eq!(count_lets(&e), 1);
-        assert!(matches!(e, Expr::Let(1, Bound::Prim(PrimOp::SpecRef(_), _), _)));
+        assert!(matches!(
+            e,
+            Expr::Let(1, Bound::Prim(PrimOp::SpecRef(_), _), _)
+        ));
     }
 
     #[test]
     fn fxadd_is_one_op_with_zero_tag() {
         let e = lower_one(Intrinsic::FxAdd, 2);
         assert_eq!(count_lets(&e), 1);
-        assert!(matches!(e, Expr::Let(1, Bound::Prim(PrimOp::WordAdd, _), _)));
+        assert!(matches!(
+            e,
+            Expr::Let(1, Bound::Prim(PrimOp::WordAdd, _), _)
+        ));
     }
 
     #[test]
@@ -513,7 +547,9 @@ mod tests {
         // With shift-3 tag-0 fixnums the index needs no adjustment at all.
         let e = lower_one(Intrinsic::VectorRef, 2);
         assert_eq!(count_lets(&e), 1);
-        let Expr::Let(_, Bound::Prim(PrimOp::SpecRef(_), args), _) = &e else { panic!() };
+        let Expr::Let(_, Bound::Prim(PrimOp::SpecRef(_), args), _) = &e else {
+            panic!()
+        };
         assert_eq!(args[1], Atom::Var(101), "index used directly");
     }
 

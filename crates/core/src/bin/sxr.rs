@@ -3,6 +3,7 @@
 //! ```text
 //! sxr [OPTIONS] <file.scm>       run a program
 //! sxr [OPTIONS] -e '<expr>'      run an expression
+//! sxr lint <file.scm>            rep-safety static analysis (no execution)
 //!
 //! OPTIONS:
 //!   --mode <abstract|traditional|noopt>   pipeline (default: abstract)
@@ -10,32 +11,70 @@
 //!   --counters                            print dynamic instruction counters
 //!   --dis <name>                          disassemble a procedure and exit
 //!   --heap <words>                        initial heap size in words
+//!   --verify-passes                       verify IR after every optimizer pass
 //! ```
 
-use sxr::{Compiler, PipelineConfig};
+use sxr::{lint_source, Compiler, PipelineConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: sxr [--mode abstract|traditional|noopt] [--ablate PASS] \
-         [--counters] [--dis NAME] [--heap WORDS] (FILE.scm | -e EXPR)"
+         [--counters] [--dis NAME] [--heap WORDS] [--verify-passes] \
+         (FILE.scm | -e EXPR)\n       sxr lint FILE.scm"
     );
     std::process::exit(2)
 }
 
+/// `sxr lint FILE.scm`: compile under the lint configuration, run the
+/// rep-safety analyzer, print `file:line:col:`-prefixed findings.  Exit
+/// status 0 = clean, 1 = error-severity findings (or a compile failure).
+fn run_lint(mut args: impl Iterator<Item = String>) -> ! {
+    let Some(path) = args.next() else { usage() };
+    if args.next().is_some() {
+        usage();
+    }
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sxr: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match lint_source(&source) {
+        Ok(report) => {
+            print!("{}", report.render(&path));
+            let errors = report.diagnostics.iter().filter(|d| d.is_error()).count();
+            let warnings = report.diagnostics.len() - errors;
+            eprintln!("sxr lint: {errors} error(s), {warnings} warning(s)");
+            std::process::exit(if report.has_errors() { 1 } else { 0 });
+        }
+        Err(e) => {
+            eprintln!("sxr: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("lint") {
+        args.next();
+        run_lint(args);
+    }
     let mut mode = "abstract".to_string();
     let mut ablate: Option<String> = None;
     let mut counters = false;
     let mut dis: Option<String> = None;
     let mut heap: Option<usize> = None;
     let mut source: Option<String> = None;
+    let mut verify_passes = false;
 
     while let Some(a) = args.next() {
         match a.as_str() {
             "--mode" => mode = args.next().unwrap_or_else(|| usage()),
             "--ablate" => ablate = Some(args.next().unwrap_or_else(|| usage())),
             "--counters" => counters = true,
+            "--verify-passes" => verify_passes = true,
             "--dis" => dis = Some(args.next().unwrap_or_else(|| usage())),
             "--heap" => {
                 heap = Some(
@@ -74,6 +113,9 @@ fn main() {
     }
     if let Some(words) = heap {
         cfg = cfg.with_heap_words(words);
+    }
+    if verify_passes {
+        cfg = cfg.with_verify_passes(true);
     }
 
     let compiled = match Compiler::new(cfg).compile(&source) {

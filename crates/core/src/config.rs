@@ -25,6 +25,11 @@ pub struct PipelineConfig {
     pub heap_words: usize,
     /// Optional instruction budget for runs.
     pub instruction_limit: Option<u64>,
+    /// Run the inter-pass semantic verifier after every optimizer pass and
+    /// on the closure-converted module (attributing any broken invariant to
+    /// the pass that introduced it).  Defaults on in debug builds and tests,
+    /// off in release builds.
+    pub verify_passes: bool,
 }
 
 impl PipelineConfig {
@@ -35,6 +40,7 @@ impl PipelineConfig {
             opt: OptOptions::default(),
             heap_words: 1 << 21,
             instruction_limit: None,
+            verify_passes: cfg!(debug_assertions),
         }
     }
 
@@ -46,6 +52,7 @@ impl PipelineConfig {
             opt: OptOptions::none(),
             heap_words: 1 << 21,
             instruction_limit: None,
+            verify_passes: cfg!(debug_assertions),
         }
     }
 
@@ -56,6 +63,7 @@ impl PipelineConfig {
             opt: OptOptions::default(),
             heap_words: 1 << 21,
             instruction_limit: None,
+            verify_passes: cfg!(debug_assertions),
         }
     }
 
@@ -82,6 +90,13 @@ impl PipelineConfig {
         self
     }
 
+    /// Turns the inter-pass verifier on or off (see
+    /// [`PipelineConfig::verify_passes`]).
+    pub fn with_verify_passes(mut self, on: bool) -> PipelineConfig {
+        self.verify_passes = on;
+        self
+    }
+
     /// A short label for reports.
     pub fn label(&self) -> &'static str {
         match (self.mode, self.opt.rounds) {
@@ -99,7 +114,10 @@ mod tests {
     #[test]
     fn labels() {
         assert_eq!(PipelineConfig::abstract_optimized().label(), "AbstractOpt");
-        assert_eq!(PipelineConfig::abstract_unoptimized().label(), "AbstractNoOpt");
+        assert_eq!(
+            PipelineConfig::abstract_unoptimized().label(),
+            "AbstractNoOpt"
+        );
         assert_eq!(PipelineConfig::traditional().label(), "Traditional");
     }
 
@@ -108,5 +126,19 @@ mod tests {
         let cfg = PipelineConfig::ablated("repspec");
         assert!(!cfg.opt.repspec);
         assert!(cfg.opt.inline);
+    }
+
+    #[test]
+    fn verify_passes_builder() {
+        assert!(
+            PipelineConfig::abstract_optimized()
+                .with_verify_passes(true)
+                .verify_passes
+        );
+        assert!(
+            !PipelineConfig::abstract_optimized()
+                .with_verify_passes(false)
+                .verify_passes
+        );
     }
 }

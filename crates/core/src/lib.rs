@@ -33,16 +33,19 @@
 
 mod config;
 mod error;
+pub mod lint;
 mod pipeline;
 pub mod report;
 
 pub use config::{PipelineConfig, PrimitiveMode};
 pub use error::CompileError;
+pub use lint::{lint_source, LintDiagnostic, LintReport};
 pub use pipeline::{
     Compiled, Compiler, Outcome, LIBRARY_SCM, PRIMS_ABSTRACT_CHECKED_SCM, PRIMS_ABSTRACT_SCM,
     PRIMS_TRADITIONAL_SCM, REPS_SCM,
 };
 
 // Re-exports for downstream tools (benches, examples).
+pub use sxr_analysis::{DiagClass, Diagnostic, Severity, VerifyError};
 pub use sxr_opt::{OptOptions, OptReport};
 pub use sxr_vm::{Counters, InstClass, VmError, VmErrorKind};

@@ -2,11 +2,13 @@
 
 use crate::config::{PipelineConfig, PrimitiveMode};
 use crate::error::CompileError;
+use std::collections::HashMap;
+use sxr_analysis::Diagnostic;
 use sxr_ast::{convert_assignments, Expander};
 use sxr_codegen::{generate, lower_intrinsics_expr};
-use sxr_ir::anf::Module;
+use sxr_ir::anf::{GlobalId, Module};
 use sxr_ir::lower::Lowered;
-use sxr_ir::rep::RepRegistry;
+use sxr_ir::rep::{RepId, RepRegistry};
 use sxr_ir::{closure_convert, lower_program, validate_module};
 use sxr_opt::{optimize, scan_representations, OptReport};
 use sxr_sexp::parse_all;
@@ -18,8 +20,7 @@ pub const REPS_SCM: &str = include_str!("../scheme/reps.scm");
 pub const PRIMS_ABSTRACT_SCM: &str = include_str!("../scheme/prims_abstract.scm");
 /// The abstract primitive layer with library-level type and bounds checks
 /// ("safety is library policy"; see `tests/integration_checked.rs`).
-pub const PRIMS_ABSTRACT_CHECKED_SCM: &str =
-    include_str!("../scheme/prims_abstract_checked.scm");
+pub const PRIMS_ABSTRACT_CHECKED_SCM: &str = include_str!("../scheme/prims_abstract_checked.scm");
 /// The traditional primitive layer (intrinsic-based baseline).
 pub const PRIMS_TRADITIONAL_SCM: &str = include_str!("../scheme/prims_traditional.scm");
 /// The shared portable library.
@@ -121,7 +122,11 @@ impl Compiler {
         convert_assignments(&mut program).map_err(CompileError::Assign)?;
 
         // 3. Lower to ANF.
-        let Lowered { main_body, mut supply, global_names } = lower_program(program)?;
+        let Lowered {
+            main_body,
+            mut supply,
+            global_names,
+        } = lower_program(program)?;
 
         // 4. Stage A: interpret the library's representation declarations.
         let mut registry = RepRegistry::new();
@@ -130,25 +135,43 @@ impl Compiler {
         // 5. Traditional baseline: expand intrinsics *before* the general
         //    optimizer so inlining exposes the templates to cleanup.
         let main_body = match self.config.mode {
-            PrimitiveMode::Traditional => {
-                lower_intrinsics_expr(main_body, &registry, &mut supply)?
-            }
+            PrimitiveMode::Traditional => lower_intrinsics_expr(main_body, &registry, &mut supply)?,
             PrimitiveMode::Abstract => main_body,
         };
 
-        // 6. The generally-useful transformations.
-        let (main_body, opt_report) =
-            optimize(main_body, &mut registry, &rep_globals, &mut supply, &self.config.opt)?;
+        // 6. The generally-useful transformations.  `verify_passes` makes
+        //    the optimizer re-verify the IR after every enabled pass, so a
+        //    broken rewrite is attributed to the pass that made it.
+        let mut opt_options = self.config.opt.clone();
+        opt_options.verify = self.config.verify_passes;
+        let (main_body, opt_report) = optimize(
+            main_body,
+            &mut registry,
+            &rep_globals,
+            &mut supply,
+            &opt_options,
+        )?;
 
-        // 7. Closure-convert, validate, generate.
-        let module =
-            closure_convert(Lowered { main_body, supply, global_names });
-        validate_module(&module)?;
+        // 7. Closure-convert, validate, generate.  With `verify_passes` the
+        //    deeper semantic verifier (structural invariants plus
+        //    representation-registry consistency) replaces the plain
+        //    structural validation.
+        let module = closure_convert(Lowered {
+            main_body,
+            supply,
+            global_names,
+        });
+        if self.config.verify_passes {
+            sxr_analysis::verify_module(&module, &registry, &rep_globals)?;
+        } else {
+            validate_module(&module)?;
+        }
         let code = generate(&module, &registry)?;
         Ok(Compiled {
             code,
             module,
             registry,
+            rep_globals,
             opt_report,
             heap_words: self.config.heap_words,
             instruction_limit: self.config.instruction_limit,
@@ -167,6 +190,9 @@ pub struct Compiled {
     pub registry: RepRegistry,
     /// What the optimizer did.
     pub opt_report: OptReport,
+    /// Which globals hold representation-type values (from the
+    /// representation scan) — the seed for the static analyzer.
+    pub rep_globals: HashMap<GlobalId, RepId>,
     heap_words: usize,
     instruction_limit: Option<u64>,
 }
@@ -212,6 +238,28 @@ impl Compiled {
             output: m.output().to_string(),
             counters: m.counters.clone(),
         })
+    }
+
+    /// Runs the rep-safety static analyzer over the compiled module and
+    /// returns every finding (warnings included).
+    ///
+    /// The analyzer is conservative: it reports only *provable* misuse —
+    /// a projection through a representation the value cannot have, a raw
+    /// memory operation on a word that is never a tagged pointer, a
+    /// constant field index outside a known allocation size, or a
+    /// representation test with a statically-known outcome.
+    pub fn analyze(&self) -> Vec<Diagnostic> {
+        sxr_analysis::analyze_module(&self.module, &self.registry, &self.rep_globals)
+    }
+
+    /// Error-severity analyzer findings, rendered for display.  Empty for
+    /// any program free of provable representation misuse.
+    pub fn analyze_errors(&self) -> Vec<String> {
+        self.analyze()
+            .into_iter()
+            .filter(|d| d.is_error())
+            .map(|d| d.to_string())
+            .collect()
     }
 
     /// Finds the compiled code of a (top-level, named) procedure.

@@ -207,7 +207,10 @@ impl NameSupply {
 
     /// The name of `v`.
     pub fn name(&self, v: VarId) -> &str {
-        self.names.get(v as usize).map(String::as_str).unwrap_or("?")
+        self.names
+            .get(v as usize)
+            .map(String::as_str)
+            .unwrap_or("?")
     }
 }
 
@@ -250,9 +253,7 @@ impl Bound {
     pub fn for_each_atom_shallow_mut(&mut self, f: &mut impl FnMut(&mut Atom)) {
         match self {
             Bound::Atom(a) => f(a),
-            Bound::Prim(_, atoms) | Bound::MakeClosure(_, atoms) => {
-                atoms.iter_mut().for_each(f)
-            }
+            Bound::Prim(_, atoms) | Bound::MakeClosure(_, atoms) => atoms.iter_mut().for_each(f),
             Bound::Call(callee, args) => {
                 f(callee);
                 args.iter_mut().for_each(f);
@@ -421,10 +422,19 @@ fn refresh_fundef(
     supply: &mut NameSupply,
     map: &mut std::collections::HashMap<VarId, VarId>,
 ) -> FunDef {
-    let params = l.params.iter().map(|p| refresh_var(*p, supply, map)).collect();
+    let params = l
+        .params
+        .iter()
+        .map(|p| refresh_var(*p, supply, map))
+        .collect();
     let rest = l.rest.map(|r| refresh_var(r, supply, map));
     let body = Box::new(refresh_with(&l.body, supply, map));
-    FunDef { params, rest, body, name: l.name.clone() }
+    FunDef {
+        params,
+        rest,
+        body,
+        name: l.name.clone(),
+    }
 }
 
 fn refresh_with(
@@ -496,8 +506,10 @@ fn refresh_with(
         ),
         Expr::LetRec(binds, body) => {
             // Bind all names first (mutual recursion), then refresh bodies.
-            let vars: Vec<VarId> =
-                binds.iter().map(|(v, _)| refresh_var(*v, supply, map)).collect();
+            let vars: Vec<VarId> = binds
+                .iter()
+                .map(|(v, _)| refresh_var(*v, supply, map))
+                .collect();
             let binds = vars
                 .into_iter()
                 .zip(binds.iter())
@@ -577,13 +589,19 @@ mod tests {
         let e = Expr::LetRec(vec![(20, f), (21, g)], Box::new(Expr::Ret(Atom::Var(20))));
         let mut supply = NameSupply::from_names(vec!["v".into(); 22]);
         let e2 = refresh(&e, &mut supply);
-        let Expr::LetRec(binds, body) = e2 else { panic!() };
+        let Expr::LetRec(binds, body) = e2 else {
+            panic!()
+        };
         let (f2, g2) = (binds[0].0, binds[1].0);
         assert_ne!(f2, 20);
         // f's body calls the renamed g, and vice versa.
-        let Expr::TailCall(Atom::Var(callee), _) = &*binds[0].1.body else { panic!() };
+        let Expr::TailCall(Atom::Var(callee), _) = &*binds[0].1.body else {
+            panic!()
+        };
         assert_eq!(*callee, g2);
-        let Expr::TailCall(Atom::Var(callee2), _) = &*binds[1].1.body else { panic!() };
+        let Expr::TailCall(Atom::Var(callee2), _) = &*binds[1].1.body else {
+            panic!()
+        };
         assert_eq!(*callee2, f2);
         assert_eq!(*body, Expr::Ret(Atom::Var(f2)));
     }

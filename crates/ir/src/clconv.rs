@@ -12,16 +12,22 @@
 //! load at each call site. Both pipeline configurations get this equally —
 //! it is control-flow knowledge, not data-representation knowledge.
 
-use crate::anf::{
-    Atom, Bound, Expr, FnId, Fun, FunDef, Literal, Module, NameSupply, VarId,
-};
+use crate::anf::{Atom, Bound, Expr, FnId, Fun, FunDef, Literal, Module, NameSupply, VarId};
 use crate::lower::Lowered;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Runs closure conversion over a lowered program.
 pub fn closure_convert(lowered: Lowered) -> Module {
-    let Lowered { main_body, supply, global_names } = lowered;
-    let mut cc = Cc { funs: Vec::new(), supply, known: HashMap::new() };
+    let Lowered {
+        main_body,
+        supply,
+        global_names,
+    } = lowered;
+    let mut cc = Cc {
+        funs: Vec::new(),
+        supply,
+        known: HashMap::new(),
+    };
     // Reserve the main function slot first so `main` is id 0.
     cc.funs.push(Fun {
         name: Some("main".to_string()),
@@ -77,7 +83,12 @@ impl Cc {
                 id
             }
         };
-        let FunDef { params, rest, body, name } = fun;
+        let FunDef {
+            params,
+            rest,
+            body,
+            name,
+        } = fun;
         let mut bound_params = params.clone();
         if let Some(r) = rest {
             bound_params.push(r);
@@ -131,7 +142,11 @@ impl Cc {
                     self.known.insert(v, fnid);
                 }
                 let atoms = free.into_iter().map(Atom::Var).collect();
-                Expr::Let(v, Bound::MakeClosure(fnid, atoms), Box::new(self.convert(*body)))
+                Expr::Let(
+                    v,
+                    Bound::MakeClosure(fnid, atoms),
+                    Box::new(self.convert(*body)),
+                )
             }
             Expr::LetRec(binds, body) => self.convert_letrec(binds, *body),
             Expr::Let(v, Bound::If(t, then, els), body) => {
@@ -344,8 +359,7 @@ mod tests {
 
     #[test]
     fn letrec_becomes_known_calls() {
-        let m =
-            convert_src("(let loop ((i 0)) (if (%word=? i 10) i (loop (%word+ i 1))))");
+        let m = convert_src("(let loop ((i 0)) (if (%word=? i 10) i (loop (%word+ i 1))))");
         let loop_fun = m
             .funs
             .iter()
@@ -363,7 +377,10 @@ mod tests {
                 _ => false,
             }
         }
-        assert!(has_known_tail(&loop_fun.body), "self call resolved statically");
+        assert!(
+            has_known_tail(&loop_fun.body),
+            "self call resolved statically"
+        );
         // Self-recursion does not capture the loop variable.
         assert_eq!(loop_fun.free_count, 0);
     }
@@ -388,7 +405,11 @@ mod tests {
             }
         }
         let main = &m.funs[m.main as usize];
-        assert_eq!(count_patches(&main.body), 2, "one patch per mutual reference");
+        assert_eq!(
+            count_patches(&main.body),
+            2,
+            "one patch per mutual reference"
+        );
     }
 
     #[test]
@@ -415,10 +436,16 @@ mod tests {
         use crate::anf::*;
         let body = Expr::Let(
             100,
-            Bound::Prim(crate::prim::PrimOp::WordAdd, vec![Atom::Var(50), Atom::Var(3)]),
+            Bound::Prim(
+                crate::prim::PrimOp::WordAdd,
+                vec![Atom::Var(50), Atom::Var(3)],
+            ),
             Box::new(Expr::Let(
                 101,
-                Bound::Prim(crate::prim::PrimOp::WordAdd, vec![Atom::Var(1), Atom::Var(100)]),
+                Bound::Prim(
+                    crate::prim::PrimOp::WordAdd,
+                    vec![Atom::Var(1), Atom::Var(100)],
+                ),
                 Box::new(Expr::Ret(Atom::Var(101))),
             )),
         );

@@ -36,9 +36,11 @@ pub mod prim;
 pub mod rep;
 pub mod validate;
 
-pub use anf::{Atom, Bound, Expr, FnId, Fun, FunDef, GlobalId, Literal, Module, NameSupply, Test, VarId};
+pub use anf::{
+    Atom, Bound, Expr, FnId, Fun, FunDef, GlobalId, Literal, Module, NameSupply, Test, VarId,
+};
 pub use clconv::{closure_convert, free_vars};
 pub use lower::{lower_expr, lower_program, LowerError, Lowered};
 pub use prim::{Intrinsic, PrimOp};
 pub use rep::{RepError, RepId, RepInfo, RepKind, RepRegistry};
-pub use validate::{validate_module, ValidateError};
+pub use validate::{validate_module, ValidateError, ValidateErrorKind};

@@ -40,7 +40,9 @@ pub struct Lowered {
 /// Returns [`LowerError`] on unknown sub-primitives, sub-primitive arity
 /// mismatches, or leftover `set!` of lexical variables.
 pub fn lower_program(prog: ast::Program) -> Result<Lowered, LowerError> {
-    let mut lw = Lowerer { supply: NameSupply::from_names(prog.var_names) };
+    let mut lw = Lowerer {
+        supply: NameSupply::from_names(prog.var_names),
+    };
     // Fold items right-to-left so the last expression's value becomes the
     // program result.
     let mut tail: Option<Expr> = None;
@@ -67,7 +69,11 @@ pub fn lower_program(prog: ast::Program) -> Result<Lowered, LowerError> {
     for steps in steps_rev {
         body = wrap(steps, body);
     }
-    Ok(Lowered { main_body: body, supply: lw.supply, global_names: prog.global_names })
+    Ok(Lowered {
+        main_body: body,
+        supply: lw.supply,
+        global_names: prog.global_names,
+    })
 }
 
 /// Lowers a single expression for tests and tools: returns a function body
@@ -77,7 +83,9 @@ pub fn lower_program(prog: ast::Program) -> Result<Lowered, LowerError> {
 ///
 /// Same failure modes as [`lower_program`].
 pub fn lower_expr(e: &ast::Expr, supply: &mut NameSupply) -> Result<Expr, LowerError> {
-    let mut lw = Lowerer { supply: std::mem::take(supply) };
+    let mut lw = Lowerer {
+        supply: std::mem::take(supply),
+    };
     let result = lw.tail(e);
     *supply = lw.supply;
     result
@@ -136,7 +144,11 @@ impl Lowerer {
             }
             ast::Expr::Lambda(l) => {
                 let fun = self.fundef(l)?;
-                Ok(self.bind(l.name.as_deref().unwrap_or("lambda"), Bound::Lambda(fun), steps))
+                Ok(self.bind(
+                    l.name.as_deref().unwrap_or("lambda"),
+                    Bound::Lambda(fun),
+                    steps,
+                ))
             }
             ast::Expr::Call(f, args) => {
                 let fa = self.atom_into(f, steps)?;
@@ -292,8 +304,17 @@ mod tests {
 
     fn lower_src(src: &str) -> Lowered {
         let mut ex = Expander::new();
-        for g in ["box", "unbox", "set-box!", "cons", "append", "eqv?", "list->vector", "f", "g"]
-        {
+        for g in [
+            "box",
+            "unbox",
+            "set-box!",
+            "cons",
+            "append",
+            "eqv?",
+            "list->vector",
+            "f",
+            "g",
+        ] {
             ex.declare_global(g);
         }
         let unit = ex.expand_unit(&parse_all(src).unwrap()).unwrap();
@@ -305,7 +326,10 @@ mod tests {
     #[test]
     fn constant_program() {
         let l = lower_src("42");
-        assert!(matches!(l.main_body, Expr::Ret(Atom::Lit(Literal::Datum(_)))));
+        assert!(matches!(
+            l.main_body,
+            Expr::Ret(Atom::Lit(Literal::Datum(_)))
+        ));
     }
 
     #[test]
@@ -315,7 +339,9 @@ mod tests {
         let Expr::Let(_, Bound::GlobalSet(..), rest) = &l.main_body else {
             panic!("expected global-set first, got {:?}", l.main_body)
         };
-        let Expr::Let(v, Bound::GlobalGet(_), ret) = &**rest else { panic!() };
+        let Expr::Let(v, Bound::GlobalGet(_), ret) = &**rest else {
+            panic!()
+        };
         assert_eq!(**ret, Expr::Ret(Atom::Var(*v)));
     }
 
@@ -349,9 +375,13 @@ mod tests {
     #[test]
     fn lambda_tail_call() {
         let l = lower_src("(define (h x) (f x))");
-        let Expr::Let(_, Bound::Lambda(fun), _) = &l.main_body else { panic!() };
+        let Expr::Let(_, Bound::Lambda(fun), _) = &l.main_body else {
+            panic!()
+        };
         // body: let g = global f in tailcall g(x)
-        let Expr::Let(_, Bound::GlobalGet(_), inner) = &*fun.body else { panic!() };
+        let Expr::Let(_, Bound::GlobalGet(_), inner) = &*fun.body else {
+            panic!()
+        };
         assert!(matches!(**inner, Expr::TailCall(..)));
     }
 
@@ -408,7 +438,10 @@ mod tests {
         let mut ex = Expander::new();
         let unit = ex.expand_unit(&parse_all("(%bogus 1)").unwrap()).unwrap();
         let prog = ex.into_program(vec![unit]);
-        assert!(lower_program(prog).unwrap_err().0.contains("unknown sub-primitive"));
+        assert!(lower_program(prog)
+            .unwrap_err()
+            .0
+            .contains("unknown sub-primitive"));
     }
 
     #[test]

@@ -18,7 +18,11 @@ pub fn module_to_string(m: &Module) -> String {
             out,
             "  (self v{} params ({}) free {})",
             f.self_var,
-            f.params.iter().map(|p| format!("v{p}")).collect::<Vec<_>>().join(" "),
+            f.params
+                .iter()
+                .map(|p| format!("v{p}"))
+                .collect::<Vec<_>>()
+                .join(" "),
             f.free_count
         );
         write_expr(&mut out, &f.body, 1);
@@ -94,7 +98,11 @@ fn write_expr(out: &mut String, e: &Expr, indent: usize) {
                     let _ = writeln!(
                         out,
                         "{pad}(let v{v} (lambda ({})",
-                        l.params.iter().map(|p| format!("v{p}")).collect::<Vec<_>>().join(" ")
+                        l.params
+                            .iter()
+                            .map(|p| format!("v{p}"))
+                            .collect::<Vec<_>>()
+                            .join(" ")
                     );
                     write_expr(out, &l.body, indent + 1);
                     let _ = writeln!(out, "{pad}))");
@@ -140,7 +148,12 @@ fn write_expr(out: &mut String, e: &Expr, indent: usize) {
             let _ = writeln!(out, "{pad}(tail-call {} {})", atom(f), atoms(args));
         }
         Expr::TailCallKnown(fid, clo, args) => {
-            let _ = writeln!(out, "{pad}(tail-call-known f{fid} {} {})", atom(clo), atoms(args));
+            let _ = writeln!(
+                out,
+                "{pad}(tail-call-known f{fid} {} {})",
+                atom(clo),
+                atoms(args)
+            );
         }
         Expr::LetRec(binds, body) => {
             let _ = writeln!(out, "{pad}(letrec");
@@ -148,7 +161,11 @@ fn write_expr(out: &mut String, e: &Expr, indent: usize) {
                 let _ = writeln!(
                     out,
                     "{pad}  (v{v} (lambda ({})",
-                    l.params.iter().map(|p| format!("v{p}")).collect::<Vec<_>>().join(" ")
+                    l.params
+                        .iter()
+                        .map(|p| format!("v{p}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
                 );
                 write_expr(out, &l.body, indent + 2);
                 let _ = writeln!(out, "{pad}  ))");

@@ -184,10 +184,39 @@ impl Intrinsic {
     pub fn all() -> &'static [Intrinsic] {
         use Intrinsic::*;
         &[
-            Car, Cdr, Cons, SetCar, SetCdr, IsPair, IsNull, FxAdd, FxSub, FxMul, FxQuotient,
-            FxRemainder, FxLt, FxEq, VectorRef, VectorSet, VectorLength, MakeVector, StringRef,
-            StringSet, StringLength, MakeString, CharToInt, IntToChar, IsFixnum, IsBoolean,
-            IsChar, IsVector, IsString, IsSymbol, IsProcedure, IsEq, SymbolToString,
+            Car,
+            Cdr,
+            Cons,
+            SetCar,
+            SetCdr,
+            IsPair,
+            IsNull,
+            FxAdd,
+            FxSub,
+            FxMul,
+            FxQuotient,
+            FxRemainder,
+            FxLt,
+            FxEq,
+            VectorRef,
+            VectorSet,
+            VectorLength,
+            MakeVector,
+            StringRef,
+            StringSet,
+            StringLength,
+            MakeString,
+            CharToInt,
+            IntToChar,
+            IsFixnum,
+            IsBoolean,
+            IsChar,
+            IsVector,
+            IsString,
+            IsSymbol,
+            IsProcedure,
+            IsEq,
+            SymbolToString,
         ]
     }
 }
@@ -225,7 +254,9 @@ impl PrimOp {
             "error" => Error,
             "counters-reset!" => CounterReset,
             _ => {
-                let intr = crate::prim::Intrinsic::all().iter().find(|i| i.name() == name)?;
+                let intr = crate::prim::Intrinsic::all()
+                    .iter()
+                    .find(|i| i.name() == name)?;
                 return Some(Intrinsic(*intr));
             }
         };

@@ -187,9 +187,18 @@ impl RepRegistry {
             )));
         }
         if tag >= (1u64 << tag_bits) && tag_bits < 64 {
-            return Err(RepError(format!("tag {tag:#b} does not fit in {tag_bits} bits")));
+            return Err(RepError(format!(
+                "tag {tag:#b} does not fit in {tag_bits} bits"
+            )));
         }
-        let info = RepInfo { name: name.to_string(), kind: RepKind::Immediate { tag_bits, tag, shift } };
+        let info = RepInfo {
+            name: name.to_string(),
+            kind: RepKind::Immediate {
+                tag_bits,
+                tag,
+                shift,
+            },
+        };
         self.check_immediate_conflicts(&info)?;
         self.intern(info)
     }
@@ -220,15 +229,18 @@ impl RepRegistry {
                 continue; // idempotent re-registration checked in intern()
             }
             match existing.kind {
-                RepKind::Pointer { tag: t, discriminated: d }
-                    if t == tag && !(discriminated && d) =>
-                {
+                RepKind::Pointer {
+                    tag: t,
+                    discriminated: d,
+                } if t == tag && !(discriminated && d) => {
                     return Err(RepError(format!(
                         "pointer tag {tag:#b} of `{name}` collides with `{}` (mark both discriminated to share)",
                         existing.name
                     )));
                 }
-                RepKind::Immediate { tag_bits, tag: t, .. } => {
+                RepKind::Immediate {
+                    tag_bits, tag: t, ..
+                } => {
                     // Every immediate word's low 3 bits equal the low 3 bits
                     // of its tag (since shift >= tag_bits >= the overlap);
                     // they must not look like this pointer.
@@ -243,13 +255,17 @@ impl RepRegistry {
                 _ => {}
             }
         }
-        let info =
-            RepInfo { name: name.to_string(), kind: RepKind::Pointer { tag, discriminated } };
+        let info = RepInfo {
+            name: name.to_string(),
+            kind: RepKind::Pointer { tag, discriminated },
+        };
         self.intern(info)
     }
 
     fn check_immediate_conflicts(&self, info: &RepInfo) -> Result<(), RepError> {
-        let RepKind::Immediate { tag_bits, tag, .. } = info.kind else { unreachable!() };
+        let RepKind::Immediate { tag_bits, tag, .. } = info.kind else {
+            unreachable!()
+        };
         for existing in &self.reps {
             if existing.name == info.name {
                 continue;
@@ -264,7 +280,11 @@ impl RepRegistry {
                         )));
                     }
                 }
-                RepKind::Immediate { tag_bits: tb2, tag: t2, .. } => {
+                RepKind::Immediate {
+                    tag_bits: tb2,
+                    tag: t2,
+                    ..
+                } => {
                     let overlap = tag_bits.min(tb2);
                     let mask = (1u64 << overlap) - 1;
                     if (tag & mask) == (t2 & mask) && tag_bits != 0 {

@@ -3,17 +3,155 @@
 //! turn "miscompiled program" into "failed invariant at the pass that broke
 //! it".
 
-use crate::anf::{Atom, Bound, Expr, Fun, Module, VarId};
+use crate::anf::{Atom, Bound, Expr, FnId, Fun, GlobalId, Module, VarId};
+use crate::prim::PrimOp;
 use std::collections::HashSet;
 use std::fmt;
 
-/// A violated IR invariant.
+/// The specific IR invariant that was violated.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ValidateError(pub String);
+pub enum ValidateErrorKind {
+    /// A variable is used before (or without) being defined.
+    UndefinedVar {
+        /// The offending variable.
+        var: VarId,
+    },
+    /// A variable is let-bound twice in one function (single assignment).
+    RedefinedVar {
+        /// The offending variable.
+        var: VarId,
+    },
+    /// A parameter (or the self/rest slot) repeats another parameter.
+    DuplicateParam {
+        /// The offending variable.
+        var: VarId,
+    },
+    /// A tail call appears where only non-tail expressions are allowed
+    /// (inside a `Bound::If` branch or a `Bound::Body`).
+    TailCallInNonTail,
+    /// An [`Expr::LetRec`] survived closure conversion.
+    LetRecSurvives,
+    /// A [`Bound::Lambda`] survived closure conversion.
+    LambdaSurvives,
+    /// A `ClosureRef` index is outside the function's `free_count`.
+    ClosureRefOutOfRange {
+        /// The index used.
+        index: usize,
+        /// The function's free-slot count.
+        free_count: usize,
+    },
+    /// A `CallKnown`/`MakeClosure`/`TailCallKnown` names a function id not
+    /// in the module.
+    FnIdOutOfRange {
+        /// The function id used.
+        fnid: FnId,
+    },
+    /// A known call's argument count differs from the callee's parameters.
+    ArityMismatch {
+        /// The callee.
+        fnid: FnId,
+        /// Parameters the callee declares.
+        want: usize,
+        /// Arguments supplied.
+        got: usize,
+    },
+    /// A known call targets a variadic function (must stay dynamic).
+    VariadicKnownCall {
+        /// The callee.
+        fnid: FnId,
+    },
+    /// A primitive application has the wrong number of operands.
+    PrimArityMismatch {
+        /// The primitive.
+        op: PrimOp,
+        /// Operands the primitive takes.
+        want: usize,
+        /// Operands supplied.
+        got: usize,
+    },
+    /// A global id is outside the module's global table.
+    GlobalOutOfRange {
+        /// The global id used.
+        global: GlobalId,
+    },
+    /// A `MakeClosure` capture count differs from the callee's
+    /// `free_count`.
+    CaptureCountMismatch {
+        /// The closed-over function.
+        fnid: FnId,
+        /// Free slots the function declares.
+        want: usize,
+        /// Captures supplied.
+        got: usize,
+    },
+    /// The module's entry function id is out of range.
+    MainOutOfRange,
+}
+
+impl fmt::Display for ValidateErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use ValidateErrorKind::*;
+        match self {
+            UndefinedVar { var } => write!(f, "use of undefined variable v{var}"),
+            RedefinedVar { var } => write!(f, "variable v{var} defined twice"),
+            DuplicateParam { var } => write!(f, "duplicate parameter v{var}"),
+            TailCallInNonTail => write!(f, "tail call in non-tail position"),
+            LetRecSurvives => write!(f, "letrec survives closure conversion"),
+            LambdaSurvives => write!(f, "nested lambda survives closure conversion"),
+            ClosureRefOutOfRange { index, free_count } => {
+                write!(
+                    f,
+                    "closure-ref {index} out of range (free_count {free_count})"
+                )
+            }
+            FnIdOutOfRange { fnid } => write!(f, "function id f{fnid} out of range"),
+            ArityMismatch { fnid, want, got } => {
+                write!(
+                    f,
+                    "known call to f{fnid} with {got} args; function takes {want}"
+                )
+            }
+            VariadicKnownCall { fnid } => {
+                write!(f, "known call to variadic f{fnid} (must stay dynamic)")
+            }
+            PrimArityMismatch { op, want, got } => {
+                write!(f, "{op} arity mismatch: takes {want} operands, given {got}")
+            }
+            GlobalOutOfRange { global } => write!(f, "global {global} out of range"),
+            CaptureCountMismatch { fnid, want, got } => {
+                write!(
+                    f,
+                    "closure over f{fnid} with {got} captures; function expects {want}"
+                )
+            }
+            MainOutOfRange => write!(f, "main function id out of range"),
+        }
+    }
+}
+
+/// A violated IR invariant, with the function it occurred in (when any).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// What went wrong.
+    pub kind: ValidateErrorKind,
+    /// The containing function: `(id, diagnostic name)`. `None` for
+    /// module-level violations.
+    pub fun: Option<(FnId, String)>,
+}
+
+impl ValidateError {
+    fn new(kind: ValidateErrorKind) -> ValidateError {
+        ValidateError { kind, fun: None }
+    }
+}
 
 impl fmt::Display for ValidateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "IR invariant violated: {}", self.0)
+        write!(f, "IR invariant violated: ")?;
+        if let Some((id, name)) = &self.fun {
+            write!(f, "in f{id} ({name}): ")?;
+        }
+        self.kind.fmt(f)
     }
 }
 
@@ -24,7 +162,9 @@ impl std::error::Error for ValidateError {}
 /// * no nested lambdas / letrec,
 /// * every variable defined before use, defined exactly once per function,
 /// * `ClosureRef` indices within `free_count`,
-/// * `CallKnown`/`MakeClosure` function ids in range,
+/// * `CallKnown`/`MakeClosure` function ids in range, arities consistent,
+/// * primitive operand counts match [`PrimOp::arity`],
+/// * global ids within the module's global table,
 /// * `Bound::If` branches end in `Ret` (no tail calls).
 ///
 /// # Errors
@@ -32,16 +172,16 @@ impl std::error::Error for ValidateError {}
 /// Returns the first violated invariant.
 pub fn validate_module(m: &Module) -> Result<(), ValidateError> {
     for (i, f) in m.funs.iter().enumerate() {
-        validate_fun(m, f).map_err(|e| {
-            ValidateError(format!(
-                "in f{i} ({}): {}",
-                f.name.as_deref().unwrap_or("anonymous"),
-                e.0
-            ))
+        validate_fun(m, f).map_err(|mut e| {
+            e.fun = Some((
+                i as FnId,
+                f.name.clone().unwrap_or_else(|| "anonymous".into()),
+            ));
+            e
         })?;
     }
     if m.main as usize >= m.funs.len() {
-        return Err(ValidateError("main function id out of range".to_string()));
+        return Err(ValidateError::new(ValidateErrorKind::MainOutOfRange));
     }
     Ok(())
 }
@@ -51,7 +191,9 @@ fn validate_fun(m: &Module, f: &Fun) -> Result<(), ValidateError> {
     defined.insert(f.self_var);
     for p in f.params.iter().chain(f.rest.iter()) {
         if !defined.insert(*p) {
-            return Err(ValidateError(format!("duplicate parameter v{p}")));
+            return Err(ValidateError::new(ValidateErrorKind::DuplicateParam {
+                var: *p,
+            }));
         }
     }
     check_expr(m, f, &f.body, &mut defined, true)
@@ -60,7 +202,9 @@ fn validate_fun(m: &Module, f: &Fun) -> Result<(), ValidateError> {
 fn check_atom(a: &Atom, defined: &HashSet<VarId>) -> Result<(), ValidateError> {
     if let Atom::Var(v) = a {
         if !defined.contains(v) {
-            return Err(ValidateError(format!("use of undefined variable v{v}")));
+            return Err(ValidateError::new(ValidateErrorKind::UndefinedVar {
+                var: *v,
+            }));
         }
     }
     Ok(())
@@ -78,7 +222,9 @@ fn check_expr(
         Expr::Let(v, b, body) => {
             check_bound(m, f, b, defined)?;
             if !defined.insert(*v) {
-                return Err(ValidateError(format!("variable v{v} defined twice")));
+                return Err(ValidateError::new(ValidateErrorKind::RedefinedVar {
+                    var: *v,
+                }));
             }
             check_expr(m, f, body, defined, tail)
         }
@@ -92,45 +238,47 @@ fn check_expr(
         Expr::Ret(a) => check_atom(a, defined),
         Expr::TailCall(callee, args) => {
             if !tail {
-                return Err(ValidateError("tail call in non-tail position".to_string()));
+                return Err(ValidateError::new(ValidateErrorKind::TailCallInNonTail));
             }
             check_atom(callee, defined)?;
             args.iter().try_for_each(|a| check_atom(a, defined))
         }
         Expr::TailCallKnown(fid, clo, args) => {
             if !tail {
-                return Err(ValidateError("tail call in non-tail position".to_string()));
+                return Err(ValidateError::new(ValidateErrorKind::TailCallInNonTail));
             }
             check_fnid(m, *fid)?;
             check_arity(m, *fid, args.len())?;
             check_atom(clo, defined)?;
             args.iter().try_for_each(|a| check_atom(a, defined))
         }
-        Expr::LetRec(..) => {
-            Err(ValidateError("letrec survives closure conversion".to_string()))
-        }
+        Expr::LetRec(..) => Err(ValidateError::new(ValidateErrorKind::LetRecSurvives)),
     }
 }
 
-fn check_fnid(m: &Module, fid: u32) -> Result<(), ValidateError> {
+fn check_fnid(m: &Module, fid: FnId) -> Result<(), ValidateError> {
     if fid as usize >= m.funs.len() {
-        return Err(ValidateError(format!("function id f{fid} out of range")));
+        return Err(ValidateError::new(ValidateErrorKind::FnIdOutOfRange {
+            fnid: fid,
+        }));
     }
     Ok(())
 }
 
-fn check_arity(m: &Module, fid: u32, nargs: usize) -> Result<(), ValidateError> {
+fn check_arity(m: &Module, fid: FnId, nargs: usize) -> Result<(), ValidateError> {
     let f = &m.funs[fid as usize];
     let want = f.params.len();
     if f.rest.is_some() {
-        return Err(ValidateError(format!(
-            "known call to variadic f{fid} (must stay dynamic)"
-        )));
+        return Err(ValidateError::new(ValidateErrorKind::VariadicKnownCall {
+            fnid: fid,
+        }));
     }
     if want != nargs {
-        return Err(ValidateError(format!(
-            "known call to f{fid} with {nargs} args; function takes {want}"
-        )));
+        return Err(ValidateError::new(ValidateErrorKind::ArityMismatch {
+            fnid: fid,
+            want,
+            got: nargs,
+        }));
     }
     Ok(())
 }
@@ -142,10 +290,14 @@ fn check_bound(
     defined: &mut HashSet<VarId>,
 ) -> Result<(), ValidateError> {
     match b {
-        Bound::Atom(a) | Bound::GlobalSet(_, a) => check_atom(a, defined),
+        Bound::Atom(a) => check_atom(a, defined),
         Bound::Prim(op, args) => {
             if op.arity() != args.len() {
-                return Err(ValidateError(format!("{op} arity mismatch")));
+                return Err(ValidateError::new(ValidateErrorKind::PrimArityMismatch {
+                    op: *op,
+                    want: op.arity(),
+                    got: args.len(),
+                }));
             }
             args.iter().try_for_each(|a| check_atom(a, defined))
         }
@@ -159,32 +311,34 @@ fn check_bound(
             check_atom(clo, defined)?;
             args.iter().try_for_each(|a| check_atom(a, defined))
         }
-        Bound::GlobalGet(g) => {
-            if *g as usize >= m.global_names.len() {
-                return Err(ValidateError(format!("global {g} out of range")));
-            }
-            Ok(())
+        Bound::GlobalGet(g) => check_global(m, *g),
+        Bound::GlobalSet(g, a) => {
+            check_global(m, *g)?;
+            check_atom(a, defined)
         }
-        Bound::Lambda(_) => {
-            Err(ValidateError("nested lambda survives closure conversion".to_string()))
-        }
+        Bound::Lambda(_) => Err(ValidateError::new(ValidateErrorKind::LambdaSurvives)),
         Bound::MakeClosure(fid, frees) => {
             check_fnid(m, *fid)?;
             let want = m.funs[*fid as usize].free_count;
             if frees.len() != want {
-                return Err(ValidateError(format!(
-                    "closure over f{fid} with {} captures; function expects {want}",
-                    frees.len()
-                )));
+                return Err(ValidateError::new(
+                    ValidateErrorKind::CaptureCountMismatch {
+                        fnid: *fid,
+                        want,
+                        got: frees.len(),
+                    },
+                ));
             }
             frees.iter().try_for_each(|a| check_atom(a, defined))
         }
         Bound::ClosureRef(i) => {
             if *i >= f.free_count {
-                return Err(ValidateError(format!(
-                    "closure-ref {i} out of range (free_count {})",
-                    f.free_count
-                )));
+                return Err(ValidateError::new(
+                    ValidateErrorKind::ClosureRefOutOfRange {
+                        index: *i,
+                        free_count: f.free_count,
+                    },
+                ));
             }
             Ok(())
         }
@@ -199,6 +353,15 @@ fn check_bound(
         }
         Bound::Body(e) => check_expr(m, f, e, defined, false),
     }
+}
+
+fn check_global(m: &Module, g: GlobalId) -> Result<(), ValidateError> {
+    if g as usize >= m.global_names.len() {
+        return Err(ValidateError::new(ValidateErrorKind::GlobalOutOfRange {
+            global: g,
+        }));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -222,6 +385,10 @@ mod tests {
         }
     }
 
+    fn kind_of(m: &Module) -> ValidateErrorKind {
+        validate_module(m).unwrap_err().kind
+    }
+
     #[test]
     fn accepts_well_formed() {
         let m = module_with_body(Expr::Let(
@@ -232,10 +399,13 @@ mod tests {
         assert!(validate_module(&m).is_ok());
     }
 
+    // One test per `ValidateErrorKind` variant, each from a minimal
+    // malformed module.
+
     #[test]
     fn rejects_undefined_use() {
         let m = module_with_body(Expr::Ret(Atom::Var(42)));
-        assert!(validate_module(&m).unwrap_err().0.contains("undefined"));
+        assert_eq!(kind_of(&m), ValidateErrorKind::UndefinedVar { var: 42 });
     }
 
     #[test]
@@ -249,7 +419,14 @@ mod tests {
                 Box::new(Expr::Ret(Atom::Var(1))),
             )),
         ));
-        assert!(validate_module(&m).unwrap_err().0.contains("twice"));
+        assert_eq!(kind_of(&m), ValidateErrorKind::RedefinedVar { var: 1 });
+    }
+
+    #[test]
+    fn rejects_duplicate_parameter() {
+        let mut m = module_with_body(Expr::Ret(Atom::Lit(Literal::Unspecified)));
+        m.funs[0].params = vec![7, 7];
+        assert_eq!(kind_of(&m), ValidateErrorKind::DuplicateParam { var: 7 });
     }
 
     #[test]
@@ -263,7 +440,16 @@ mod tests {
             ),
             Box::new(Expr::Ret(Atom::Var(1))),
         ));
-        assert!(validate_module(&m).unwrap_err().0.contains("non-tail"));
+        assert_eq!(kind_of(&m), ValidateErrorKind::TailCallInNonTail);
+    }
+
+    #[test]
+    fn rejects_surviving_letrec() {
+        let m = module_with_body(Expr::LetRec(
+            vec![],
+            Box::new(Expr::Ret(Atom::Lit(Literal::Unspecified))),
+        ));
+        assert_eq!(kind_of(&m), ValidateErrorKind::LetRecSurvives);
     }
 
     #[test]
@@ -278,7 +464,7 @@ mod tests {
             }),
             Box::new(Expr::Ret(Atom::Var(1))),
         ));
-        assert!(validate_module(&m).unwrap_err().0.contains("nested lambda"));
+        assert_eq!(kind_of(&m), ValidateErrorKind::LambdaSurvives);
     }
 
     #[test]
@@ -288,7 +474,23 @@ mod tests {
             Bound::ClosureRef(0),
             Box::new(Expr::Ret(Atom::Var(1))),
         ));
-        assert!(validate_module(&m).unwrap_err().0.contains("closure-ref"));
+        assert_eq!(
+            kind_of(&m),
+            ValidateErrorKind::ClosureRefOutOfRange {
+                index: 0,
+                free_count: 0
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_fnid_out_of_range() {
+        let m = module_with_body(Expr::Let(
+            1,
+            Bound::MakeClosure(9, vec![]),
+            Box::new(Expr::Ret(Atom::Var(1))),
+        ));
+        assert_eq!(kind_of(&m), ValidateErrorKind::FnIdOutOfRange { fnid: 9 });
     }
 
     #[test]
@@ -299,7 +501,103 @@ mod tests {
             Box::new(Expr::Ret(Atom::Var(1))),
         ));
         m.funs[0].params = vec![9];
-        // Calling main (which now takes 1 param) with 0 args.
-        assert!(validate_module(&m).unwrap_err().0.contains("takes 1"));
+        // Calling main (which now takes 1 param) with 0 args. The param
+        // list change also shifts the body's scope, so the bound var is
+        // checked first: build the body so only the arity is wrong.
+        assert_eq!(
+            kind_of(&m),
+            ValidateErrorKind::ArityMismatch {
+                fnid: 0,
+                want: 1,
+                got: 0
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_known_call_to_variadic() {
+        let mut m = module_with_body(Expr::TailCallKnown(
+            0,
+            Atom::Lit(Literal::Unspecified),
+            vec![],
+        ));
+        m.funs[0].rest = Some(8);
+        assert_eq!(
+            kind_of(&m),
+            ValidateErrorKind::VariadicKnownCall { fnid: 0 }
+        );
+    }
+
+    #[test]
+    fn rejects_prim_arity_mismatch() {
+        let m = module_with_body(Expr::Let(
+            1,
+            Bound::Prim(PrimOp::WordAdd, vec![Atom::raw(1)]),
+            Box::new(Expr::Ret(Atom::Var(1))),
+        ));
+        assert_eq!(
+            kind_of(&m),
+            ValidateErrorKind::PrimArityMismatch {
+                op: PrimOp::WordAdd,
+                want: 2,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_global_out_of_range() {
+        let m = module_with_body(Expr::Let(
+            1,
+            Bound::GlobalGet(5),
+            Box::new(Expr::Ret(Atom::Var(1))),
+        ));
+        assert_eq!(
+            kind_of(&m),
+            ValidateErrorKind::GlobalOutOfRange { global: 5 }
+        );
+
+        let m = module_with_body(Expr::Let(
+            1,
+            Bound::GlobalSet(6, Atom::Lit(Literal::Unspecified)),
+            Box::new(Expr::Ret(Atom::Var(1))),
+        ));
+        assert_eq!(
+            kind_of(&m),
+            ValidateErrorKind::GlobalOutOfRange { global: 6 }
+        );
+    }
+
+    #[test]
+    fn rejects_capture_count_mismatch() {
+        let mut m = module_with_body(Expr::Let(
+            1,
+            Bound::MakeClosure(0, vec![]),
+            Box::new(Expr::Ret(Atom::Var(1))),
+        ));
+        m.funs[0].free_count = 2;
+        assert_eq!(
+            kind_of(&m),
+            ValidateErrorKind::CaptureCountMismatch {
+                fnid: 0,
+                want: 2,
+                got: 0
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_main_out_of_range() {
+        let mut m = module_with_body(Expr::Ret(Atom::Lit(Literal::Unspecified)));
+        m.main = 3;
+        assert_eq!(kind_of(&m), ValidateErrorKind::MainOutOfRange);
+    }
+
+    #[test]
+    fn error_display_names_function() {
+        let m = module_with_body(Expr::Ret(Atom::Var(42)));
+        let msg = validate_module(&m).unwrap_err().to_string();
+        assert!(msg.contains("in f0 (main)"), "{msg}");
+        assert!(msg.contains("undefined variable v42"), "{msg}");
     }
 }

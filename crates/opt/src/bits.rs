@@ -33,15 +33,18 @@ use sxr_ir::rep::{roles, RepKind, RepRegistry};
 
 /// Runs the pass. Returns the rewritten program and a change count.
 pub fn bits(e: Expr, registry: &RepRegistry, assumptions: &Assumptions) -> (Expr, usize) {
-    let bool_pattern =
-        registry.role(roles::BOOLEAN).and_then(|id| match registry.info(id).kind {
+    let bool_pattern = registry
+        .role(roles::BOOLEAN)
+        .and_then(|id| match registry.info(id).kind {
             RepKind::Immediate { tag, shift, .. } => Some((tag as i64, shift as i64)),
             RepKind::Pointer { .. } => None,
         });
-    let false_word = registry.role(roles::BOOLEAN).and_then(|id| match registry.info(id).kind {
-        RepKind::Immediate { .. } => Some(registry.encode_immediate(id, 0)),
-        RepKind::Pointer { .. } => None,
-    });
+    let false_word = registry
+        .role(roles::BOOLEAN)
+        .and_then(|id| match registry.info(id).kind {
+            RepKind::Immediate { .. } => Some(registry.encode_immediate(id, 0)),
+            RepKind::Pointer { .. } => None,
+        });
     let mut st = Bits {
         registry,
         assumptions,
@@ -101,7 +104,9 @@ impl Bits<'_> {
     }
 
     fn derive(&self, v: VarId, facts: &Facts, depth: u32) -> (u32, u64) {
-        let Some((op, args)) = self.defs.get(&v) else { return (0, 0) };
+        let Some((op, args)) = self.defs.get(&v) else {
+            return (0, 0);
+        };
         use PrimOp::*;
         match op {
             WordShl => {
@@ -150,7 +155,11 @@ impl Bits<'_> {
                 let (kx, tx) = self.lowtag(&args[0], facts, depth);
                 let (ky, ty) = self.lowtag(&args[1], facts, depth);
                 let k = kx.min(ky);
-                let t = if *op == WordAdd { tx.wrapping_add(ty) } else { tx.wrapping_sub(ty) };
+                let t = if *op == WordAdd {
+                    tx.wrapping_add(ty)
+                } else {
+                    tx.wrapping_sub(ty)
+                };
                 (k, t & mask(k))
             }
             WordMul => {
@@ -183,7 +192,10 @@ impl Bits<'_> {
             WordMul => {
                 if let Some(ra) = self.reconstruct_atom(&args[0], s, facts) {
                     Some(Bound::Prim(WordMul, vec![ra, args[1].clone()]))
-                } else { self.reconstruct_atom(&args[1], s, facts).map(|rb| Bound::Prim(WordMul, vec![args[0].clone(), rb])) }
+                } else {
+                    self.reconstruct_atom(&args[1], s, facts)
+                        .map(|rb| Bound::Prim(WordMul, vec![args[0].clone(), rb]))
+                }
             }
             _ => None,
         }
@@ -302,9 +314,7 @@ impl Bits<'_> {
                     // is how dominated (redundant) type tests disappear.
                     let (k, t) = self.lowtag(&args[0], facts, DEPTH);
                     if m as u64 & !mask(k) == 0 {
-                        return Some(Bound::Atom(Atom::Lit(Literal::Raw(
-                            (t & m as u64) as i64,
-                        ))));
+                        return Some(Bound::Atom(Atom::Lit(Literal::Raw((t & m as u64) as i64))));
                     }
                 }
                 None
@@ -374,12 +384,10 @@ impl Bits<'_> {
         let Test::Truthy(a) = &t else { return t };
         if let Some(v) = a.as_var() {
             if let Some((op, args)) = self.defs.get(&v).cloned() {
-                if let (Some((btag, bshift)), true) = (self.bool_pattern, op == PrimOp::WordOr)
-                {
+                if let (Some((btag, bshift)), true) = (self.bool_pattern, op == PrimOp::WordOr) {
                     // or(shl(c, bshift), btag)
                     if args[1] == Atom::Lit(Literal::Raw(btag)) {
-                        if let Some((PrimOp::WordShl, inner)) = self.def_of(&args[0]).cloned()
-                        {
+                        if let Some((PrimOp::WordShl, inner)) = self.def_of(&args[0]).cloned() {
                             if inner[1] == Atom::Lit(Literal::Raw(bshift)) {
                                 self.changed += 1;
                                 return Test::NonZero(inner[0].clone());
@@ -616,7 +624,10 @@ mod tests {
                 _ => false,
             }
         }
-        assert!(still_shifted(&out), "soundness: cannot drop shifts without type facts");
+        assert!(
+            still_shifted(&out),
+            "soundness: cannot drop shifts without type facts"
+        );
     }
 
     #[test]
@@ -748,9 +759,9 @@ mod tests {
         let reg = fx_registry();
         let mut assume = Assumptions::new();
         assume.insert(20, (1, 3, 0)); // the then-branch projection
-        // if c { v20 = shr(v1,3); ret v20 } else { v21 = and(v1,7); ret v21 }
-        // The else branch's type test must NOT fold from the then branch's
-        // assumption.
+                                      // if c { v20 = shr(v1,3); ret v20 } else { v21 = and(v1,7); ret v21 }
+                                      // The else branch's type test must NOT fold from the then branch's
+                                      // assumption.
         let e = Expr::If(
             Test::NonZero(Atom::Var(2)),
             Box::new(Expr::Let(
@@ -846,7 +857,7 @@ mod tests {
         let reg = fx_registry();
         let mut assume = Assumptions::new();
         assume.insert(9, (1, 3, 0)); // fixnum
-        // integer->char: (v1 >> 3) << 8  ==>  v1 << 5.
+                                     // integer->char: (v1 >> 3) << 8  ==>  v1 << 5.
         let e = Expr::Let(
             9,
             Bound::Prim(WordShr, vec![Atom::Var(1), Atom::raw(3)]),

@@ -50,11 +50,7 @@ impl Clean {
                                 return sunk;
                             }
                             Err((inner, body)) => {
-                                return self.finish_let(
-                                    v,
-                                    Bound::Body(Box::new(inner)),
-                                    body,
-                                )
+                                return self.finish_let(v, Bound::Body(Box::new(inner)), body)
                             }
                         }
                     }
@@ -68,8 +64,7 @@ impl Clean {
                             }
                             _ => {
                                 if diverges(&x) || diverges(&y) {
-                                    let rebuilt =
-                                        Expr::If(t, Box::new(x), Box::new(y));
+                                    let rebuilt = Expr::If(t, Box::new(x), Box::new(y));
                                     match sink_value(rebuilt, v, body) {
                                         Ok(sunk) => {
                                             self.changed += 1;
@@ -79,11 +74,7 @@ impl Clean {
                                             let Expr::If(t, x, y) = rebuilt else {
                                                 unreachable!()
                                             };
-                                            return self.finish_let(
-                                                v,
-                                                Bound::If(t, x, y),
-                                                body,
-                                            );
+                                            return self.finish_let(v, Bound::If(t, x, y), body);
                                         }
                                     }
                                 }
@@ -99,9 +90,7 @@ impl Clean {
                 };
                 self.finish_let(v, b, body)
             }
-            Expr::If(t, x, y) => {
-                Expr::If(t, Box::new(self.walk(*x)), Box::new(self.walk(*y)))
-            }
+            Expr::If(t, x, y) => Expr::If(t, Box::new(self.walk(*x)), Box::new(self.walk(*y))),
             Expr::LetRec(binds, body) => {
                 let body = self.walk(*body);
                 // Drop letrec groups none of whose members are referenced.

@@ -39,7 +39,11 @@ pub fn constfold(
     globals: &HashMap<GlobalId, GlobalInfo>,
     registry: &mut RepRegistry,
 ) -> Result<Expr, FoldError> {
-    let mut st = Folder { globals, registry, env: HashMap::new() };
+    let mut st = Folder {
+        globals,
+        registry,
+        env: HashMap::new(),
+    };
     st.walk(e)
 }
 
@@ -87,13 +91,14 @@ impl Folder<'_> {
     /// Attempts to fold a primitive application to a literal.
     fn fold_prim(&mut self, op: PrimOp, args: &[Atom]) -> Result<Option<Literal>, FoldError> {
         use PrimOp::*;
-        let bin_words = |s: &Self| -> Option<(i64, i64)> {
-            Some((s.word_of(&args[0])?, s.word_of(&args[1])?))
-        };
+        let bin_words =
+            |s: &Self| -> Option<(i64, i64)> { Some((s.word_of(&args[0])?, s.word_of(&args[1])?)) };
         Ok(match op {
             WordAdd | WordSub | WordMul | WordAnd | WordOr | WordXor | WordShl | WordShr
             | WordEq | WordLt | PtrEq => {
-                let Some((a, b)) = bin_words(self) else { return Ok(None) };
+                let Some((a, b)) = bin_words(self) else {
+                    return Ok(None);
+                };
                 let w = match op {
                     WordAdd => a.wrapping_add(b),
                     WordSub => a.wrapping_sub(b),
@@ -110,7 +115,9 @@ impl Folder<'_> {
                 Some(Literal::Raw(w))
             }
             WordQuot | WordRem => {
-                let Some((a, b)) = bin_words(self) else { return Ok(None) };
+                let Some((a, b)) = bin_words(self) else {
+                    return Ok(None);
+                };
                 if b == 0 {
                     return Ok(None); // preserve the runtime error
                 }
@@ -155,12 +162,18 @@ impl Folder<'_> {
                 else {
                     return Ok(None);
                 };
-                self.registry.provide_role(&role, *rid).map_err(|e| FoldError(e.0))?;
+                self.registry
+                    .provide_role(&role, *rid)
+                    .map_err(|e| FoldError(e.0))?;
                 Some(Literal::Unspecified)
             }
             RepInject => {
-                let Atom::Lit(Literal::Rep(rid)) = &args[0] else { return Ok(None) };
-                let Some(w) = self.word_of(&args[1]) else { return Ok(None) };
+                let Atom::Lit(Literal::Rep(rid)) = &args[0] else {
+                    return Ok(None);
+                };
+                let Some(w) = self.word_of(&args[1]) else {
+                    return Ok(None);
+                };
                 match self.registry.info(*rid).kind {
                     RepKind::Immediate { tag, shift, .. } => {
                         Some(Literal::Raw((w << shift) | tag as i64))
@@ -169,16 +182,24 @@ impl Folder<'_> {
                 }
             }
             RepProject => {
-                let Atom::Lit(Literal::Rep(rid)) = &args[0] else { return Ok(None) };
-                let Some(w) = self.word_of(&args[1]) else { return Ok(None) };
+                let Atom::Lit(Literal::Rep(rid)) = &args[0] else {
+                    return Ok(None);
+                };
+                let Some(w) = self.word_of(&args[1]) else {
+                    return Ok(None);
+                };
                 match self.registry.info(*rid).kind {
                     RepKind::Immediate { shift, .. } => Some(Literal::Raw(w >> shift)),
                     RepKind::Pointer { .. } => None,
                 }
             }
             RepTest => {
-                let Atom::Lit(Literal::Rep(rid)) = &args[0] else { return Ok(None) };
-                let Some(w) = self.word_of(&args[1]) else { return Ok(None) };
+                let Atom::Lit(Literal::Rep(rid)) = &args[0] else {
+                    return Ok(None);
+                };
+                let Some(w) = self.word_of(&args[1]) else {
+                    return Ok(None);
+                };
                 Some(Literal::Raw(self.registry.tag_matches(*rid, w) as i64))
             }
             _ => None,
@@ -208,15 +229,11 @@ impl Folder<'_> {
                 match self.fold_test(&t) {
                     Some(true) => self.walk(*a)?,
                     Some(false) => self.walk(*b)?,
-                    None => {
-                        Expr::If(t, Box::new(self.walk(*a)?), Box::new(self.walk(*b)?))
-                    }
+                    None => Expr::If(t, Box::new(self.walk(*a)?), Box::new(self.walk(*b)?)),
                 }
             }
             Expr::Ret(a) => Expr::Ret(self.resolve(&a)),
-            Expr::TailCall(f, args) => {
-                Expr::TailCall(self.resolve(&f), self.resolve_all(&args))
-            }
+            Expr::TailCall(f, args) => Expr::TailCall(self.resolve(&f), self.resolve_all(&args)),
             Expr::TailCallKnown(fid, clo, args) => {
                 Expr::TailCallKnown(fid, self.resolve(&clo), self.resolve_all(&args))
             }
@@ -263,9 +280,7 @@ impl Folder<'_> {
                 f.body = Box::new(self.walk(*f.body)?);
                 Bound::Lambda(f)
             }
-            Bound::MakeClosure(fid, frees) => {
-                Bound::MakeClosure(fid, self.resolve_all(&frees))
-            }
+            Bound::MakeClosure(fid, frees) => Bound::MakeClosure(fid, self.resolve_all(&frees)),
             Bound::ClosureRef(i) => Bound::ClosureRef(i),
             Bound::ClosurePatch(c, i, x) => {
                 Bound::ClosurePatch(self.resolve(&c), i, self.resolve(&x))
@@ -275,11 +290,7 @@ impl Folder<'_> {
                 match self.fold_test(&t) {
                     Some(true) => Bound::Body(Box::new(self.walk(*a)?)),
                     Some(false) => Bound::Body(Box::new(self.walk(*bexp)?)),
-                    None => Bound::If(
-                        t,
-                        Box::new(self.walk(*a)?),
-                        Box::new(self.walk(*bexp)?),
-                    ),
+                    None => Bound::If(t, Box::new(self.walk(*a)?), Box::new(self.walk(*bexp)?)),
                 }
             }
             Bound::Body(inner) => Bound::Body(Box::new(self.walk(*inner)?)),
@@ -301,8 +312,7 @@ mod tests {
         convert_assignments(&mut p).unwrap();
         let lowered = lower_program(p).unwrap();
         let mut reg = RepRegistry::new();
-        let rep_globals =
-            crate::scan::scan_representations(&lowered.main_body, &mut reg).unwrap();
+        let rep_globals = crate::scan::scan_representations(&lowered.main_body, &mut reg).unwrap();
         let globals = crate::globals::analyze_globals(&lowered.main_body, &rep_globals);
         let mut e = constfold(lowered.main_body, &globals, &mut reg).unwrap();
         // Folding is interleaved with cleanup in the real pipeline; do the

@@ -50,7 +50,10 @@ pub fn analyze_globals(
                     if let Some(def) = lambda_vars.get(src) {
                         out.insert(
                             *g,
-                            GlobalInfo::Fun { def: Rc::clone(def), recursive: false },
+                            GlobalInfo::Fun {
+                                def: Rc::clone(def),
+                                recursive: false,
+                            },
                         );
                     }
                 }
@@ -194,7 +197,13 @@ mod tests {
     fn single_def_lambda_is_known() {
         let (info, prog) = analyze("(define (id x) x)");
         let g = prog.global_by_name("id").unwrap();
-        assert!(matches!(info.get(&g), Some(GlobalInfo::Fun { recursive: false, .. })));
+        assert!(matches!(
+            info.get(&g),
+            Some(GlobalInfo::Fun {
+                recursive: false,
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -215,7 +224,13 @@ mod tests {
     fn self_recursion_marked() {
         let (info, prog) = analyze("(define (loop n) (loop n))");
         let g = prog.global_by_name("loop").unwrap();
-        assert!(matches!(info.get(&g), Some(GlobalInfo::Fun { recursive: true, .. })));
+        assert!(matches!(
+            info.get(&g),
+            Some(GlobalInfo::Fun {
+                recursive: true,
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -228,8 +243,26 @@ mod tests {
         let ge = prog.global_by_name("even?").unwrap();
         let go = prog.global_by_name("odd?").unwrap();
         let gl = prog.global_by_name("leaf").unwrap();
-        assert!(matches!(info.get(&ge), Some(GlobalInfo::Fun { recursive: true, .. })));
-        assert!(matches!(info.get(&go), Some(GlobalInfo::Fun { recursive: true, .. })));
-        assert!(matches!(info.get(&gl), Some(GlobalInfo::Fun { recursive: false, .. })));
+        assert!(matches!(
+            info.get(&ge),
+            Some(GlobalInfo::Fun {
+                recursive: true,
+                ..
+            })
+        ));
+        assert!(matches!(
+            info.get(&go),
+            Some(GlobalInfo::Fun {
+                recursive: true,
+                ..
+            })
+        ));
+        assert!(matches!(
+            info.get(&gl),
+            Some(GlobalInfo::Fun {
+                recursive: false,
+                ..
+            })
+        ));
     }
 }

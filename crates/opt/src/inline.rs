@@ -21,7 +21,10 @@ pub struct InlineOptions {
 
 impl Default for InlineOptions {
     fn default() -> InlineOptions {
-        InlineOptions { threshold: 48, max_per_round: 20_000 }
+        InlineOptions {
+            threshold: 48,
+            max_per_round: 20_000,
+        }
     }
 }
 
@@ -77,8 +80,12 @@ impl Inliner<'_> {
         let mut body = refresh(&def.body, self.supply);
         // `refresh` renames bound variables but leaves the (free) parameters
         // alone, so params can be substituted directly.
-        let map: HashMap<VarId, Atom> =
-            def.params.iter().copied().zip(args.iter().cloned()).collect();
+        let map: HashMap<VarId, Atom> = def
+            .params
+            .iter()
+            .copied()
+            .zip(args.iter().cloned())
+            .collect();
         substitute(&mut body, &map);
         self.inlined += 1;
         body
@@ -92,7 +99,11 @@ impl Inliner<'_> {
                 Expr::Let(v, Bound::Lambda(f), Box::new(self.walk(*body)))
             }
             Expr::Let(v, Bound::GlobalGet(g), body) => {
-                if let Some(GlobalInfo::Fun { def, recursive: false }) = self.globals.get(&g) {
+                if let Some(GlobalInfo::Fun {
+                    def,
+                    recursive: false,
+                }) = self.globals.get(&g)
+                {
                     self.env.insert(v, Rc::clone(def));
                 }
                 Expr::Let(v, Bound::GlobalGet(g), Box::new(self.walk(*body)))
@@ -138,9 +149,7 @@ impl Inliner<'_> {
                 Expr::Let(v, Bound::Atom(a), Box::new(self.walk(*body)))
             }
             Expr::Let(v, b, body) => Expr::Let(v, b, Box::new(self.walk(*body))),
-            Expr::If(t, a, b) => {
-                Expr::If(t, Box::new(self.walk(*a)), Box::new(self.walk(*b)))
-            }
+            Expr::If(t, a, b) => Expr::If(t, Box::new(self.walk(*a)), Box::new(self.walk(*b))),
             Expr::LetRec(binds, body) => {
                 // Letrec-bound functions are loop headers; leave their call
                 // sites alone but optimize inside their bodies.
@@ -174,7 +183,12 @@ mod tests {
         let lowered = lower_program(p).unwrap();
         let globals = analyze_globals(&lowered.main_body, &HashMap::new());
         let mut supply = lowered.supply;
-        inline(lowered.main_body, &globals, &mut supply, &InlineOptions::default())
+        inline(
+            lowered.main_body,
+            &globals,
+            &mut supply,
+            &InlineOptions::default(),
+        )
     }
 
     fn count_calls(e: &Expr) -> usize {
@@ -221,12 +235,10 @@ mod tests {
 
     #[test]
     fn inlines_through_wrapper_chains() {
-        let (_, n) = run(
-            "(define (a x) (%word+ x 1))
+        let (_, n) = run("(define (a x) (%word+ x 1))
              (define (b x) (a x))
              (define (c x) (b x))
-             (c 5)",
-        );
+             (c 5)");
         // c inlined at top, then b, then a (plus b/a bodies inlined inside
         // c's and b's own definitions).
         assert!(n >= 3, "expected chain inlining, got {n}");
@@ -240,10 +252,8 @@ mod tests {
 
     #[test]
     fn branching_callee_uses_body() {
-        let (e, n) = run(
-            "(define (abs x) (if (%word<? x 0) (%word- 0 x) x))
-             (%word+ (abs -8) 0)",
-        );
+        let (e, n) = run("(define (abs x) (if (%word<? x 0) (%word- 0 x) x))
+             (%word+ (abs -8) 0)");
         assert_eq!(n, 1);
         fn has_body(e: &Expr) -> bool {
             match e {
@@ -256,7 +266,10 @@ mod tests {
                 _ => false,
             }
         }
-        assert!(has_body(&e), "non-straight-line callee wrapped in Bound::Body");
+        assert!(
+            has_body(&e),
+            "non-straight-line callee wrapped in Bound::Body"
+        );
     }
 
     #[test]

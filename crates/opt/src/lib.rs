@@ -58,6 +58,9 @@ pub struct OptOptions {
     pub dce: bool,
     /// Maximum optimization rounds.
     pub rounds: usize,
+    /// Run the semantic verifier after every pass, attributing any broken
+    /// IR invariant to the pass that broke it. Defaults on in debug builds.
+    pub verify: bool,
 }
 
 impl Default for OptOptions {
@@ -71,6 +74,7 @@ impl Default for OptOptions {
             cse: true,
             dce: true,
             rounds: 5,
+            verify: cfg!(debug_assertions),
         }
     }
 }
@@ -88,6 +92,7 @@ impl OptOptions {
             cse: false,
             dce: false,
             rounds: 0,
+            verify: cfg!(debug_assertions),
         }
     }
 
@@ -140,15 +145,33 @@ impl std::fmt::Display for OptError {
 
 impl std::error::Error for OptError {}
 
+/// Verifies the program against the inter-pass invariants, attributing any
+/// violation to `pass`. Called by [`optimize`] after every enabled pass
+/// when [`OptOptions::verify`] is set; public so pass authors can wrap
+/// experimental rewrites the same way.
+///
+/// # Errors
+///
+/// Returns [`OptError`] naming `pass` and the violated invariant, with a
+/// pretty-printed IR excerpt when one is available.
+pub fn verify_pass(pass: &str, e: &Expr, registry: &RepRegistry) -> Result<(), OptError> {
+    sxr_analysis::verify_expr(e, registry)
+        .map_err(|err| OptError(format!("IR verification failed after pass `{pass}`: {err}")))
+}
+
 /// Runs the full pass pipeline over the whole-program expression.
 ///
 /// `registry` must already contain the representation declarations (run
 /// [`scan_representations`] first); `rep_globals` is that scan's output.
 ///
+/// When [`OptOptions::verify`] is set (the default in debug builds), the
+/// inter-pass verifier runs after every enabled pass and a broken invariant
+/// surfaces as an [`OptError`] naming the offending pass.
+///
 /// # Errors
 ///
 /// Returns [`OptError`] if constant-folding a representation declaration
-/// fails.
+/// fails, or if inter-pass verification catches a pass breaking the IR.
 pub fn optimize(
     mut e: Expr,
     registry: &mut RepRegistry,
@@ -158,6 +181,11 @@ pub fn optimize(
 ) -> Result<(Expr, OptReport), OptError> {
     let mut report = OptReport::default();
     let mut assumptions = Assumptions::new();
+    if options.verify {
+        // Check the input first so pre-existing damage is not pinned on
+        // the first pass of the round.
+        verify_pass("input", &e, registry)?;
+    }
     for _ in 0..options.rounds {
         let size_before = e.size();
         let mut round_changed = 0usize;
@@ -172,25 +200,40 @@ pub fn optimize(
             e = e2;
             report.inlined += n;
             round_changed += n;
+            if options.verify {
+                verify_pass("inline", &e, registry)?;
+            }
         }
         if options.constfold {
             let ginfo = analyze_globals(&e, rep_globals);
             e = constfold(e, &ginfo, registry).map_err(|err| OptError(err.0))?;
+            if options.verify {
+                verify_pass("constfold", &e, registry)?;
+            }
         }
         if options.repspec {
             let (e2, assume) = repspec(e, registry, supply);
             e = e2;
             assumptions.extend(assume);
+            if options.verify {
+                verify_pass("repspec", &e, registry)?;
+            }
         }
         if options.bits {
             let (e2, n) = bits(e, registry, &assumptions);
             e = e2;
             report.bit_rewrites += n;
             round_changed += n;
+            if options.verify {
+                verify_pass("bits", &e, registry)?;
+            }
             if options.constfold {
                 // Bit rewrites expose constants (e.g. folded type tests).
                 let ginfo = analyze_globals(&e, rep_globals);
                 e = constfold(e, &ginfo, registry).map_err(|err| OptError(err.0))?;
+                if options.verify {
+                    verify_pass("constfold", &e, registry)?;
+                }
             }
         }
         if options.cse {
@@ -198,6 +241,9 @@ pub fn optimize(
             e = e2;
             report.cse_hits += n;
             round_changed += n;
+            if options.verify {
+                verify_pass("cse", &e, registry)?;
+            }
         }
         if options.dce {
             loop {
@@ -209,6 +255,9 @@ pub fn optimize(
                     break;
                 }
             }
+            if options.verify {
+                verify_pass("dce", &e, registry)?;
+            }
         }
         report.rounds += 1;
         if round_changed == 0 && e.size() == size_before {
@@ -216,4 +265,73 @@ pub fn optimize(
         }
     }
     Ok((e, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use sxr_ir::anf::{Atom, Bound};
+
+    /// A deliberately broken "pass": duplicates the outermost binding,
+    /// violating single assignment.
+    fn broken_rewrite(e: Expr) -> Expr {
+        match e {
+            Expr::Let(v, b, body) => {
+                let inner = Expr::Let(v, b.clone(), body);
+                Expr::Let(v, b, Box::new(inner))
+            }
+            other => other,
+        }
+    }
+
+    #[test]
+    fn broken_pass_is_caught_and_attributed() {
+        let reg = RepRegistry::new();
+        let good = Expr::Let(
+            1,
+            Bound::Atom(Atom::raw(5)),
+            Box::new(Expr::Ret(Atom::Var(1))),
+        );
+        assert!(verify_pass("bits", &good, &reg).is_ok());
+        let bad = broken_rewrite(good);
+        let err = verify_pass("bits", &bad, &reg).unwrap_err();
+        assert!(err.0.contains("after pass `bits`"), "{err}");
+        assert!(err.0.contains("defined twice"), "{err}");
+    }
+
+    #[test]
+    fn optimize_rejects_broken_input_before_blaming_a_pass() {
+        let mut reg = RepRegistry::new();
+        let mut supply = NameSupply::default();
+        let bad = Expr::Ret(Atom::Var(7));
+        let opts = OptOptions {
+            verify: true,
+            ..OptOptions::default()
+        };
+        let err = optimize(bad, &mut reg, &HashMap::new(), &mut supply, &opts).unwrap_err();
+        assert!(err.0.contains("after pass `input`"), "{err}");
+        assert!(err.0.contains("v7"), "{err}");
+    }
+
+    #[test]
+    fn optimize_passes_clean_programs_with_verification_on() {
+        let mut reg = RepRegistry::new();
+        let fx = reg.intern_immediate("fixnum", 3, 0, 3).unwrap();
+        let mut supply = NameSupply::from_names(vec!["v".into(); 10]);
+        let e = Expr::Let(
+            1,
+            Bound::Prim(
+                sxr_ir::prim::PrimOp::RepInject,
+                vec![Atom::Lit(sxr_ir::anf::Literal::Rep(fx)), Atom::raw(5)],
+            ),
+            Box::new(Expr::Ret(Atom::Var(1))),
+        );
+        let opts = OptOptions {
+            verify: true,
+            ..OptOptions::default()
+        };
+        let (out, _) = optimize(e, &mut reg, &HashMap::new(), &mut supply, &opts).unwrap();
+        sxr_analysis::verify_expr(&out, &reg).unwrap();
+    }
 }

@@ -19,9 +19,9 @@
 use std::collections::HashMap;
 use sxr_ir::anf::{Atom, Bound, Expr, Literal, NameSupply, Test, VarId};
 use sxr_ir::prim::PrimOp;
-use sxr_ir::rep::{RepKind, RepRegistry};
 #[cfg(test)]
 use sxr_ir::rep::RepId;
+use sxr_ir::rep::{RepKind, RepRegistry};
 
 /// Type assumptions gathered from specialized operations, keyed by the
 /// *binding* whose execution justifies them: when the binding for the key
@@ -33,12 +33,13 @@ pub type Assumptions = HashMap<VarId, (VarId, u32, u64)>;
 
 /// Runs representation specialization. Returns the rewritten program and
 /// the gathered assumptions.
-pub fn repspec(
-    e: Expr,
-    registry: &RepRegistry,
-    supply: &mut NameSupply,
-) -> (Expr, Assumptions) {
-    let mut st = Spec { registry, supply, assume: HashMap::new(), pending: None };
+pub fn repspec(e: Expr, registry: &RepRegistry, supply: &mut NameSupply) -> (Expr, Assumptions) {
+    let mut st = Spec {
+        registry,
+        supply,
+        assume: HashMap::new(),
+        pending: None,
+    };
     let out = st.walk(e);
     (out, st.assume)
 }
@@ -65,12 +66,7 @@ impl Spec<'_> {
 
     /// Builds `let tmp... in let v = last op in body` from a chain of ops,
     /// where the final element binds to `v`.
-    fn chain(
-        &mut self,
-        v: VarId,
-        ops: Vec<Bound>,
-        body: Expr,
-    ) -> Expr {
+    fn chain(&mut self, v: VarId, ops: Vec<Bound>, body: Expr) -> Expr {
         let mut out = body;
         let n = ops.len();
         let mut temps: Vec<VarId> = Vec::with_capacity(n);
@@ -99,7 +95,9 @@ impl Spec<'_> {
     /// (last op binds the result) or `None` to keep the generic form.
     fn specialize(&mut self, op: PrimOp, args: &[Atom]) -> Option<Vec<Bound>> {
         use PrimOp::*;
-        let Some(Atom::Lit(Literal::Rep(rid))) = args.first() else { return None };
+        let Some(Atom::Lit(Literal::Rep(rid))) = args.first() else {
+            return None;
+        };
         let rid = *rid;
         let info = self.registry.info(rid);
         let prev = || Atom::Var(u32::MAX); // placeholder for previous temp
@@ -116,9 +114,19 @@ impl Spec<'_> {
                 }
                 Some(ops)
             }
-            (RepProject, RepKind::Immediate { tag_bits, tag, shift }) => {
+            (
+                RepProject,
+                RepKind::Immediate {
+                    tag_bits,
+                    tag,
+                    shift,
+                },
+            ) => {
                 self.assume_tag(&args[1], *tag_bits, *tag);
-                Some(vec![Bound::Prim(WordShr, vec![args[1].clone(), raw(*shift as i64)])])
+                Some(vec![Bound::Prim(
+                    WordShr,
+                    vec![args[1].clone(), raw(*shift as i64)],
+                )])
             }
             (RepTest, RepKind::Immediate { tag_bits, tag, .. }) => {
                 let mask = (1i64 << tag_bits) - 1;
@@ -159,9 +167,10 @@ impl Spec<'_> {
                 }
                 Some(ops)
             }
-            (RepAlloc, RepKind::Pointer { .. }) => {
-                Some(vec![Bound::Prim(SpecAlloc(rid), vec![args[1].clone(), args[2].clone()])])
-            }
+            (RepAlloc, RepKind::Pointer { .. }) => Some(vec![Bound::Prim(
+                SpecAlloc(rid),
+                vec![args[1].clone(), args[2].clone()],
+            )]),
             (RepRef, RepKind::Pointer { tag, .. }) => {
                 self.assume_tag(&args[1], 3, *tag);
                 match &args[2] {
@@ -184,10 +193,7 @@ impl Spec<'_> {
                     )]),
                     idx => Some(vec![
                         Bound::Prim(WordShl, vec![idx.clone(), raw(3)]),
-                        Bound::Prim(
-                            SpecSet(rid),
-                            vec![args[1].clone(), prev(), args[3].clone()],
-                        ),
+                        Bound::Prim(SpecSet(rid), vec![args[1].clone(), prev(), args[3].clone()]),
                     ]),
                 }
             }
@@ -223,19 +229,15 @@ impl Spec<'_> {
                         f.body = Box::new(self.walk(*f.body));
                         Bound::Lambda(f)
                     }
-                    Bound::If(t, a, b2) => Bound::If(
-                        t,
-                        Box::new(self.walk(*a)),
-                        Box::new(self.walk(*b2)),
-                    ),
+                    Bound::If(t, a, b2) => {
+                        Bound::If(t, Box::new(self.walk(*a)), Box::new(self.walk(*b2)))
+                    }
                     Bound::Body(inner) => Bound::Body(Box::new(self.walk(*inner))),
                     other => other,
                 };
                 Expr::Let(v, b, Box::new(self.walk(*body)))
             }
-            Expr::If(t, a, b) => {
-                Expr::If(t, Box::new(self.walk(*a)), Box::new(self.walk(*b)))
-            }
+            Expr::If(t, a, b) => Expr::If(t, Box::new(self.walk(*a)), Box::new(self.walk(*b))),
             Expr::LetRec(binds, body) => Expr::LetRec(
                 binds
                     .into_iter()
@@ -265,7 +267,11 @@ mod tests {
     fn spec_one(op: PrimOp, args: Vec<Atom>) -> Expr {
         let (reg, _, _) = registry();
         let mut supply = NameSupply::from_names(vec!["v".into(); 300]);
-        let e = Expr::Let(10, Bound::Prim(op, args), Box::new(Expr::Ret(Atom::Var(10))));
+        let e = Expr::Let(
+            10,
+            Bound::Prim(op, args),
+            Box::new(Expr::Ret(Atom::Var(10))),
+        );
         let (out, _) = repspec(e, &reg, &mut supply);
         out
     }
@@ -276,11 +282,17 @@ mod tests {
         let mut supply = NameSupply::from_names(vec!["v".into(); 300]);
         let e = Expr::Let(
             10,
-            Bound::Prim(PrimOp::RepProject, vec![Atom::Lit(Literal::Rep(fx)), Atom::Var(5)]),
+            Bound::Prim(
+                PrimOp::RepProject,
+                vec![Atom::Lit(Literal::Rep(fx)), Atom::Var(5)],
+            ),
             Box::new(Expr::Ret(Atom::Var(10))),
         );
         let (out, assume) = repspec(e, &reg, &mut supply);
-        assert!(matches!(out, Expr::Let(10, Bound::Prim(PrimOp::WordShr, _), _)));
+        assert!(matches!(
+            out,
+            Expr::Let(10, Bound::Prim(PrimOp::WordShr, _), _)
+        ));
         // Keyed by the binding (v10) and naming the subject (v5).
         assert_eq!(assume.get(&10), Some(&(5, 3, 0)));
     }
@@ -288,9 +300,15 @@ mod tests {
     #[test]
     fn inject_fixnum_is_single_shift() {
         let (_, fx, _) = registry();
-        let e = spec_one(PrimOp::RepInject, vec![Atom::Lit(Literal::Rep(fx)), Atom::Var(5)]);
+        let e = spec_one(
+            PrimOp::RepInject,
+            vec![Atom::Lit(Literal::Rep(fx)), Atom::Var(5)],
+        );
         // tag 0: shift only, bound directly to the result var.
-        assert!(matches!(e, Expr::Let(10, Bound::Prim(PrimOp::WordShl, _), _)));
+        assert!(matches!(
+            e,
+            Expr::Let(10, Bound::Prim(PrimOp::WordShl, _), _)
+        ));
     }
 
     #[test]
@@ -329,9 +347,17 @@ mod tests {
     #[test]
     fn test_on_pointer_is_and_cmp() {
         let (_, _, pair) = registry();
-        let e = spec_one(PrimOp::RepTest, vec![Atom::Lit(Literal::Rep(pair)), Atom::Var(5)]);
-        let Expr::Let(_, Bound::Prim(PrimOp::WordAnd, _), rest) = e else { panic!() };
-        assert!(matches!(*rest, Expr::Let(10, Bound::Prim(PrimOp::WordEq, _), _)));
+        let e = spec_one(
+            PrimOp::RepTest,
+            vec![Atom::Lit(Literal::Rep(pair)), Atom::Var(5)],
+        );
+        let Expr::Let(_, Bound::Prim(PrimOp::WordAnd, _), rest) = e else {
+            panic!()
+        };
+        assert!(matches!(
+            *rest,
+            Expr::Let(10, Bound::Prim(PrimOp::WordEq, _), _)
+        ));
     }
 
     #[test]
@@ -342,7 +368,10 @@ mod tests {
         let mut supply = NameSupply::from_names(vec!["v".into(); 300]);
         let e = Expr::Let(
             10,
-            Bound::Prim(PrimOp::RepTest, vec![Atom::Lit(Literal::Rep(rec)), Atom::Var(5)]),
+            Bound::Prim(
+                PrimOp::RepTest,
+                vec![Atom::Lit(Literal::Rep(rec)), Atom::Var(5)],
+            ),
             Box::new(Expr::Ret(Atom::Var(10))),
         );
         let (out, _) = repspec(e, &reg, &mut supply);
@@ -364,13 +393,22 @@ mod tests {
     #[test]
     fn generic_stays_when_rep_unknown() {
         let e = spec_one(PrimOp::RepProject, vec![Atom::Var(4), Atom::Var(5)]);
-        assert!(matches!(e, Expr::Let(10, Bound::Prim(PrimOp::RepProject, _), _)));
+        assert!(matches!(
+            e,
+            Expr::Let(10, Bound::Prim(PrimOp::RepProject, _), _)
+        ));
     }
 
     #[test]
     fn pointer_inject_stays_generic() {
         let (_, _, pair) = registry();
-        let e = spec_one(PrimOp::RepInject, vec![Atom::Lit(Literal::Rep(pair)), Atom::Var(5)]);
-        assert!(matches!(e, Expr::Let(10, Bound::Prim(PrimOp::RepInject, _), _)));
+        let e = spec_one(
+            PrimOp::RepInject,
+            vec![Atom::Lit(Literal::Rep(pair)), Atom::Var(5)],
+        );
+        assert!(matches!(
+            e,
+            Expr::Let(10, Bound::Prim(PrimOp::RepInject, _), _)
+        ));
     }
 }

@@ -143,10 +143,7 @@ fn rep_of_atom(
 /// Folds `%make-immediate-type` with constant arguments. Returns `None` when
 /// arguments are not constants (a run-time type creation, legal anywhere
 /// but not a top-level declaration).
-fn fold_make_imm(
-    args: &[Atom],
-    registry: &mut RepRegistry,
-) -> Result<Option<RepId>, ScanError> {
+fn fold_make_imm(args: &[Atom], registry: &mut RepRegistry) -> Result<Option<RepId>, ScanError> {
     let (Some(name), Some(tag_bits), Some(tag), Some(shift)) = (
         const_symbol(&args[0]),
         const_fixnum(&args[1]),
@@ -162,16 +159,18 @@ fn fold_make_imm(
 }
 
 /// Folds `%make-pointer-type` with constant arguments.
-fn fold_make_ptr(
-    args: &[Atom],
-    registry: &mut RepRegistry,
-) -> Result<Option<RepId>, ScanError> {
-    let (Some(name), Some(tag), Some(disc)) =
-        (const_symbol(&args[0]), const_fixnum(&args[1]), const_bool(&args[2]))
-    else {
+fn fold_make_ptr(args: &[Atom], registry: &mut RepRegistry) -> Result<Option<RepId>, ScanError> {
+    let (Some(name), Some(tag), Some(disc)) = (
+        const_symbol(&args[0]),
+        const_fixnum(&args[1]),
+        const_bool(&args[2]),
+    ) else {
         return Ok(None);
     };
-    registry.intern_pointer(&name, tag as u64, disc).map(Some).map_err(|e| ScanError(e.0))
+    registry
+        .intern_pointer(&name, tag as u64, disc)
+        .map(Some)
+        .map_err(|e| ScanError(e.0))
 }
 
 #[cfg(test)]

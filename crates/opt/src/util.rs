@@ -53,7 +53,11 @@ pub fn convert_tails(e: Expr, supply: &mut NameSupply) -> Expr {
         }
         Expr::TailCallKnown(fid, clo, args) => {
             let t = supply.fresh("ret");
-            Expr::Let(t, Bound::CallKnown(fid, clo, args), Box::new(Expr::Ret(Atom::Var(t))))
+            Expr::Let(
+                t,
+                Bound::CallKnown(fid, clo, args),
+                Box::new(Expr::Ret(Atom::Var(t))),
+            )
         }
         Expr::Let(v, b, body) => Expr::Let(v, b, Box::new(convert_tails(*body, supply))),
         Expr::If(t, a, b) => Expr::If(
@@ -61,9 +65,7 @@ pub fn convert_tails(e: Expr, supply: &mut NameSupply) -> Expr {
             Box::new(convert_tails(*a, supply)),
             Box::new(convert_tails(*b, supply)),
         ),
-        Expr::LetRec(binds, body) => {
-            Expr::LetRec(binds, Box::new(convert_tails(*body, supply)))
-        }
+        Expr::LetRec(binds, body) => Expr::LetRec(binds, Box::new(convert_tails(*body, supply))),
         Expr::Ret(_) => e,
     }
 }
@@ -100,9 +102,7 @@ pub fn try_splice(e: Expr, v: VarId, k: Expr) -> Result<Expr, (Expr, Expr)> {
 pub fn diverges(e: &Expr) -> bool {
     match e {
         Expr::Let(_, Bound::Prim(sxr_ir::prim::PrimOp::Error, _), _) => true,
-        Expr::Let(_, Bound::If(_, a, b), body) => {
-            (diverges(a) && diverges(b)) || diverges(body)
-        }
+        Expr::Let(_, Bound::If(_, a, b), body) => (diverges(a) && diverges(b)) || diverges(body),
         Expr::Let(_, Bound::Body(inner), body) => diverges(inner) || diverges(body),
         Expr::Let(_, _, body) => diverges(body),
         Expr::If(_, a, b) => diverges(a) && diverges(b),
@@ -125,9 +125,7 @@ pub fn sink_value(e: Expr, v: VarId, k: Expr) -> Result<Expr, (Expr, Expr)> {
             Expr::Ret(_) => true,
             Expr::Let(_, _, body) => sinkable(body),
             Expr::LetRec(_, body) => sinkable(body),
-            Expr::If(_, a, b) => {
-                (diverges(b) && sinkable(a)) || (diverges(a) && sinkable(b))
-            }
+            Expr::If(_, a, b) => (diverges(b) && sinkable(a)) || (diverges(a) && sinkable(b)),
             Expr::TailCall(..) | Expr::TailCallKnown(..) => false,
         }
     }
@@ -193,7 +191,11 @@ mod tests {
         reg.provide_role("fixnum", fx).unwrap();
         assert_eq!(lit_word(&Literal::Datum(Datum::Fixnum(5)), &reg), Some(40));
         assert_eq!(lit_word(&Literal::Raw(9), &reg), Some(9));
-        assert_eq!(lit_word(&Literal::Datum(Datum::Bool(true)), &reg), None, "no role");
+        assert_eq!(
+            lit_word(&Literal::Datum(Datum::Bool(true)), &reg),
+            None,
+            "no role"
+        );
     }
 
     #[test]
@@ -201,8 +203,14 @@ mod tests {
         let mut reg = RepRegistry::new();
         let bo = reg.intern_immediate("boolean", 8, 0b010, 8).unwrap();
         reg.provide_role("boolean", bo).unwrap();
-        assert_eq!(truthiness(&Literal::Datum(Datum::Bool(false)), &reg), Some(false));
-        assert_eq!(truthiness(&Literal::Datum(Datum::Fixnum(0)), &reg), Some(true));
+        assert_eq!(
+            truthiness(&Literal::Datum(Datum::Bool(false)), &reg),
+            Some(false)
+        );
+        assert_eq!(
+            truthiness(&Literal::Datum(Datum::Fixnum(0)), &reg),
+            Some(true)
+        );
         assert_eq!(truthiness(&Literal::Raw(0b010), &reg), Some(false));
         assert_eq!(truthiness(&Literal::Raw(0b1_0000_0010), &reg), Some(true));
     }

@@ -19,7 +19,12 @@ pub struct Span {
 impl Span {
     /// Creates a span covering `start..end` at the given line/column.
     pub fn new(start: usize, end: usize, line: u32, col: u32) -> Span {
-        Span { start, end, line, col }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
     }
 }
 
@@ -59,7 +64,9 @@ impl fmt::Display for ParseErrorKind {
             ParseErrorKind::BadHashSyntax(s) => write!(f, "unknown `#` syntax `{s}`"),
             ParseErrorKind::BadCharLiteral(s) => write!(f, "bad character literal `{s}`"),
             ParseErrorKind::BadStringEscape(c) => write!(f, "bad string escape `\\{c}`"),
-            ParseErrorKind::FixnumOverflow(s) => write!(f, "integer literal `{s}` exceeds fixnum range"),
+            ParseErrorKind::FixnumOverflow(s) => {
+                write!(f, "integer literal `{s}` exceeds fixnum range")
+            }
             ParseErrorKind::BadToken(s) => write!(f, "bad token `{s}`"),
         }
     }

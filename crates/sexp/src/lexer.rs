@@ -77,7 +77,13 @@ fn is_symbol_char(c: char) -> bool {
 impl<'a> Lexer<'a> {
     /// Creates a lexer over `src`.
     pub fn new(src: &'a str) -> Lexer<'a> {
-        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -323,7 +329,10 @@ impl<'a> Lexer<'a> {
                 }
             }
         };
-        Ok(Some(Token { kind, span: self.span_from(start, line, col) }))
+        Ok(Some(Token {
+            kind,
+            span: self.span_from(start, line, col),
+        }))
     }
 
     fn read_symbol_text(&mut self) -> String {
@@ -405,7 +414,10 @@ mod tests {
 
     #[test]
     fn strings_and_escapes() {
-        assert_eq!(kinds(r#""a\nb\"c""#), vec![TokenKind::Str("a\nb\"c".into())]);
+        assert_eq!(
+            kinds(r#""a\nb\"c""#),
+            vec![TokenKind::Str("a\nb\"c".into())]
+        );
     }
 
     #[test]
@@ -431,12 +443,25 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(kinds("; hi\n 1 #| nested #| deep |# |# 2"), vec![TokenKind::Fixnum(1), TokenKind::Fixnum(2)]);
+        assert_eq!(
+            kinds("; hi\n 1 #| nested #| deep |# |# 2"),
+            vec![TokenKind::Fixnum(1), TokenKind::Fixnum(2)]
+        );
     }
 
     #[test]
     fn datum_comment_token() {
-        assert_eq!(kinds("#;(a b) 5"), vec![TokenKind::DatumComment, TokenKind::LParen, TokenKind::Symbol("a".into()), TokenKind::Symbol("b".into()), TokenKind::RParen, TokenKind::Fixnum(5)]);
+        assert_eq!(
+            kinds("#;(a b) 5"),
+            vec![
+                TokenKind::DatumComment,
+                TokenKind::LParen,
+                TokenKind::Symbol("a".into()),
+                TokenKind::Symbol("b".into()),
+                TokenKind::RParen,
+                TokenKind::Fixnum(5)
+            ]
+        );
     }
 
     #[test]
@@ -454,12 +479,28 @@ mod tests {
 
     #[test]
     fn plus_minus_are_symbols() {
-        assert_eq!(kinds("+ - -a"), vec![TokenKind::Symbol("+".into()), TokenKind::Symbol("-".into()), TokenKind::Symbol("-a".into())]);
+        assert_eq!(
+            kinds("+ - -a"),
+            vec![
+                TokenKind::Symbol("+".into()),
+                TokenKind::Symbol("-".into()),
+                TokenKind::Symbol("-a".into())
+            ]
+        );
     }
 
     #[test]
     fn dot_token() {
-        assert_eq!(kinds("(a . b)"), vec![TokenKind::LParen, TokenKind::Symbol("a".into()), TokenKind::Dot, TokenKind::Symbol("b".into()), TokenKind::RParen]);
+        assert_eq!(
+            kinds("(a . b)"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Symbol("a".into()),
+                TokenKind::Dot,
+                TokenKind::Symbol("b".into()),
+                TokenKind::RParen
+            ]
+        );
     }
 
     #[test]
@@ -480,24 +521,40 @@ mod tests {
 
     #[test]
     fn brackets_as_parens() {
-        assert_eq!(kinds("[a]"), vec![TokenKind::LParen, TokenKind::Symbol("a".into()), TokenKind::RParen]);
+        assert_eq!(
+            kinds("[a]"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Symbol("a".into()),
+                TokenKind::RParen
+            ]
+        );
     }
 
     #[test]
     fn unterminated_string() {
         let mut lx = Lexer::new("\"abc");
-        assert!(matches!(lx.next_token().unwrap_err().kind, ParseErrorKind::UnexpectedEof));
+        assert!(matches!(
+            lx.next_token().unwrap_err().kind,
+            ParseErrorKind::UnexpectedEof
+        ));
     }
 
     #[test]
     fn unterminated_block_comment() {
         let mut lx = Lexer::new("#| abc");
-        assert!(matches!(lx.next_token().unwrap_err().kind, ParseErrorKind::UnexpectedEof));
+        assert!(matches!(
+            lx.next_token().unwrap_err().kind,
+            ParseErrorKind::UnexpectedEof
+        ));
     }
 
     #[test]
     fn hash_true_with_suffix_is_error() {
         let mut lx = Lexer::new("#true");
-        assert!(matches!(lx.next_token().unwrap_err().kind, ParseErrorKind::BadHashSyntax(_)));
+        assert!(matches!(
+            lx.next_token().unwrap_err().kind,
+            ParseErrorKind::BadHashSyntax(_)
+        ));
     }
 }

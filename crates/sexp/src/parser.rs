@@ -20,19 +20,28 @@ use crate::lexer::{Lexer, Token, TokenKind};
 pub struct Parser<'a> {
     lexer: Lexer<'a>,
     lookahead: Option<Token>,
+    last_span: Span,
 }
 
 impl<'a> Parser<'a> {
     /// Creates a parser over `src`.
     pub fn new(src: &'a str) -> Parser<'a> {
-        Parser { lexer: Lexer::new(src), lookahead: None }
+        Parser {
+            lexer: Lexer::new(src),
+            lookahead: None,
+            last_span: Span::default(),
+        }
     }
 
     fn next_tok(&mut self) -> Result<Option<Token>, ParseError> {
-        if let Some(t) = self.lookahead.take() {
-            return Ok(Some(t));
+        let tok = match self.lookahead.take() {
+            Some(t) => Some(t),
+            None => self.lexer.next_token()?,
+        };
+        if let Some(t) = &tok {
+            self.last_span = t.span;
         }
-        self.lexer.next_token()
+        Ok(tok)
     }
 
     fn put_back(&mut self, t: Token) {
@@ -46,6 +55,17 @@ impl<'a> Parser<'a> {
     ///
     /// Returns a [`ParseError`] on malformed input.
     pub fn next_datum(&mut self) -> Result<Option<Datum>, ParseError> {
+        Ok(self.next_datum_spanned()?.map(|(d, _)| d))
+    }
+
+    /// Reads the next datum together with its source span, or `None` at end
+    /// of input.  The span covers the whole datum (open paren through close
+    /// paren for lists), not counting any preceding datum comments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed input.
+    pub fn next_datum_spanned(&mut self) -> Result<Option<(Datum, Span)>, ParseError> {
         loop {
             let tok = match self.next_tok()? {
                 Some(t) => t,
@@ -60,7 +80,12 @@ impl<'a> Parser<'a> {
                         None => return Err(ParseError::new(ParseErrorKind::UnexpectedEof, span)),
                     }
                 }
-                _ => return self.datum_from(tok).map(Some),
+                _ => {
+                    let start = tok.span;
+                    let d = self.datum_from(tok)?;
+                    let span = Span::new(start.start, self.last_span.end, start.line, start.col);
+                    return Ok(Some((d, span)));
+                }
             }
         }
     }
@@ -194,6 +219,29 @@ pub fn parse_all(src: &str) -> Result<Vec<Datum>, ParseError> {
     Ok(out)
 }
 
+/// Parses every datum in `src`, pairing each with its source span (used by
+/// tools that report file/line diagnostics, e.g. `sxr lint`).
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+///
+/// # Example
+///
+/// ```
+/// let all = sxr_sexp::parse_all_spanned("(a)\n(b c)").unwrap();
+/// assert_eq!(all.len(), 2);
+/// assert_eq!(all[1].1.line, 2);
+/// ```
+pub fn parse_all_spanned(src: &str) -> Result<Vec<(Datum, Span)>, ParseError> {
+    let mut p = Parser::new(src);
+    let mut out = Vec::new();
+    while let Some(pair) = p.next_datum_spanned()? {
+        out.push(pair);
+    }
+    Ok(out)
+}
+
 /// Parses exactly one datum; trailing data is an error.
 ///
 /// # Errors
@@ -234,7 +282,10 @@ mod tests {
     #[test]
     fn lists() {
         assert_eq!(p("()"), Datum::nil());
-        assert_eq!(p("(1 2 3)"), Datum::List(vec![1.into(), 2.into(), 3.into()]));
+        assert_eq!(
+            p("(1 2 3)"),
+            Datum::List(vec![1.into(), 2.into(), 3.into()])
+        );
         assert_eq!(
             p("(1 (2) 3)"),
             Datum::List(vec![1.into(), Datum::List(vec![2.into()]), 3.into()])
@@ -243,11 +294,17 @@ mod tests {
 
     #[test]
     fn dotted() {
-        assert_eq!(p("(1 . 2)"), Datum::Improper(vec![1.into()], Box::new(2.into())));
+        assert_eq!(
+            p("(1 . 2)"),
+            Datum::Improper(vec![1.into()], Box::new(2.into()))
+        );
         // (1 . (2 3)) normalizes to a proper list.
         assert_eq!(p("(1 . (2 3))"), p("(1 2 3)"));
         // (1 . (2 . 3)) normalizes to (1 2 . 3).
-        assert_eq!(p("(1 . (2 . 3))"), Datum::Improper(vec![1.into(), 2.into()], Box::new(3.into())));
+        assert_eq!(
+            p("(1 . (2 . 3))"),
+            Datum::Improper(vec![1.into(), 2.into()], Box::new(3.into()))
+        );
     }
 
     #[test]
@@ -259,7 +316,10 @@ mod tests {
     #[test]
     fn quote_sugar() {
         assert_eq!(p("'x"), Datum::quoted("x".into()));
-        assert_eq!(p("`(a ,b ,@c)").to_string(), "(quasiquote (a (unquote b) (unquote-splicing c)))");
+        assert_eq!(
+            p("`(a ,b ,@c)").to_string(),
+            "(quasiquote (a (unquote b) (unquote-splicing c)))"
+        );
     }
 
     #[test]
@@ -285,6 +345,30 @@ mod tests {
     fn parse_all_streams() {
         let all = parse_all("1 (a) \"s\"").unwrap();
         assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn spans_cover_whole_datum() {
+        let src = "(define (f x)\n  (car x))\n42";
+        let all = parse_all_spanned(src).unwrap();
+        assert_eq!(all.len(), 2);
+        let (_, s0) = &all[0];
+        assert_eq!(s0.start, 0);
+        assert_eq!(s0.end, src.find("\n42").unwrap());
+        assert_eq!((s0.line, s0.col), (1, 1));
+        let (d1, s1) = &all[1];
+        assert_eq!(d1, &Datum::Fixnum(42));
+        assert_eq!(s1.line, 3);
+        assert_eq!(&src[s1.start..s1.end], "42");
+    }
+
+    #[test]
+    fn spans_skip_datum_comments() {
+        let all = parse_all_spanned("#;(dead) live").unwrap();
+        assert_eq!(all.len(), 1);
+        let (d, s) = &all[0];
+        assert_eq!(d, &Datum::Symbol("live".into()));
+        assert_eq!(s.start, 9);
     }
 
     #[test]

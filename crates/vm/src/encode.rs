@@ -21,9 +21,7 @@ pub fn words_needed(d: &Datum) -> usize {
         Datum::Symbol(s) => 1 + s.chars().count() + 2,
         Datum::List(items) => 3 * items.len() + items.iter().map(words_needed).sum::<usize>(),
         Datum::Improper(items, tail) => {
-            3 * items.len()
-                + items.iter().map(words_needed).sum::<usize>()
-                + words_needed(tail)
+            3 * items.len() + items.iter().map(words_needed).sum::<usize>() + words_needed(tail)
         }
         Datum::Vector(items) => 1 + items.len() + items.iter().map(words_needed).sum::<usize>(),
     }
@@ -43,10 +41,15 @@ pub fn encode_string(m: &mut Machine, s: &str) -> Result<Word, VmError> {
     let string = need_role(m, roles::STRING, "a string")?;
     let char_rep = need_role(m, roles::CHAR, "a string")?;
     let RepKind::Pointer { tag, .. } = m.registry.info(string).kind else {
-        return Err(VmError::new(VmErrorKind::BadProgram, "`string` role must be a pointer"));
+        return Err(VmError::new(
+            VmErrorKind::BadProgram,
+            "`string` role must be a pointer",
+        ));
     };
-    let chars: Vec<Word> =
-        s.chars().map(|c| m.registry.encode_immediate(char_rep, c as i64)).collect();
+    let chars: Vec<Word> = s
+        .chars()
+        .map(|c| m.registry.encode_immediate(char_rep, c as i64))
+        .collect();
     let fill = m.registry.encode_immediate(char_rep, 0);
     let w = m.alloc_object(chars.len(), string as u16, tag, fill);
     let base = (w >> 3) as usize;
@@ -102,10 +105,15 @@ pub fn encode_datum(m: &mut Machine, d: &Datum) -> Result<Word, VmError> {
         Datum::Vector(items) => {
             let vec_rep = need_role(m, roles::VECTOR, "a vector literal")?;
             let RepKind::Pointer { tag, .. } = m.registry.info(vec_rep).kind else {
-                return Err(VmError::new(VmErrorKind::BadProgram, "`vector` role must be a pointer"));
+                return Err(VmError::new(
+                    VmErrorKind::BadProgram,
+                    "`vector` role must be a pointer",
+                ));
             };
-            let words: Vec<Word> =
-                items.iter().map(|i| encode_datum(m, i)).collect::<Result<_, _>>()?;
+            let words: Vec<Word> = items
+                .iter()
+                .map(|i| encode_datum(m, i))
+                .collect::<Result<_, _>>()?;
             let fill = m.registry.encode_immediate(m.role_fixnum(), 0);
             let w = m.alloc_object(words.len(), vec_rep as u16, tag, fill);
             let base = (w >> 3) as usize;
@@ -120,7 +128,10 @@ pub fn encode_datum(m: &mut Machine, d: &Datum) -> Result<Word, VmError> {
 fn encode_pair(m: &mut Machine, car: &Datum, cdr: Word) -> Result<Word, VmError> {
     let pair = need_role(m, roles::PAIR, "a pair literal")?;
     let RepKind::Pointer { tag, .. } = m.registry.info(pair).kind else {
-        return Err(VmError::new(VmErrorKind::BadProgram, "`pair` role must be a pointer"));
+        return Err(VmError::new(
+            VmErrorKind::BadProgram,
+            "`pair` role must be a pointer",
+        ));
     };
     let car_w = encode_datum(m, car)?;
     let w = m.alloc_object(2, pair as u16, tag, cdr);
@@ -142,7 +153,12 @@ pub fn describe(m: &Machine, w: Word, depth: usize) -> String {
         return reg.decode_immediate(fx, w).to_string();
     }
     if let Some(bo) = try_role(roles::BOOLEAN) {
-        return if reg.decode_immediate(bo, w) == 0 { "#f" } else { "#t" }.to_string();
+        return if reg.decode_immediate(bo, w) == 0 {
+            "#f"
+        } else {
+            "#t"
+        }
+        .to_string();
     }
     if let Some(ch) = try_role(roles::CHAR) {
         let c = char::from_u32(reg.decode_immediate(ch, w) as u32).unwrap_or('\u{FFFD}');
@@ -179,10 +195,18 @@ pub fn describe(m: &Machine, w: Word, depth: usize) -> String {
             let car = m.heap_ref().get(b + 1).unwrap_or(0);
             let cdr = m.heap_ref().get(b + 2).unwrap_or(0);
             parts.push(describe(m, car, depth - 1));
-            if reg.role(roles::NULL).map(|n| reg.tag_matches(n, cdr)).unwrap_or(false) {
+            if reg
+                .role(roles::NULL)
+                .map(|n| reg.tag_matches(n, cdr))
+                .unwrap_or(false)
+            {
                 break;
             }
-            if reg.role(roles::PAIR).map(|p| reg.tag_matches(p, cdr)).unwrap_or(false) {
+            if reg
+                .role(roles::PAIR)
+                .map(|p| reg.tag_matches(p, cdr))
+                .unwrap_or(false)
+            {
                 cur = cdr;
                 continue;
             }
@@ -202,7 +226,9 @@ pub fn describe(m: &Machine, w: Word, depth: usize) -> String {
     if let Some(sym) = try_role(roles::SYMBOL) {
         let _ = sym;
         let str_ptr = m.heap_ref().get(base + 1).unwrap_or(0);
-        return m.string_content(str_ptr).unwrap_or_else(|_| format!("#<bad-symbol {w}>"));
+        return m
+            .string_content(str_ptr)
+            .unwrap_or_else(|_| format!("#<bad-symbol {w}>"));
     }
     if let Some(vr) = try_role(roles::VECTOR) {
         let _ = vr;
@@ -213,13 +239,23 @@ pub fn describe(m: &Machine, w: Word, depth: usize) -> String {
         }
         return format!("#({})", parts.join(" "));
     }
-    if reg.role(roles::CLOSURE).map(|c| reg.tag_matches(c, w)).unwrap_or(false) {
+    if reg
+        .role(roles::CLOSURE)
+        .map(|c| reg.tag_matches(c, w))
+        .unwrap_or(false)
+    {
         return "#<procedure>".to_string();
     }
-    if reg.role("rep-type").map(|c| reg.tag_matches(c, w) && header_type(header) == c as u16).unwrap_or(false)
+    if reg
+        .role("rep-type")
+        .map(|c| reg.tag_matches(c, w) && header_type(header) == c as u16)
+        .unwrap_or(false)
     {
         let payload = m.heap_ref().get(base + 1).unwrap_or(0);
-        let rid = reg.role(roles::FIXNUM).map(|fx| reg.decode_immediate(fx, payload)).unwrap_or(-1);
+        let rid = reg
+            .role(roles::FIXNUM)
+            .map(|fx| reg.decode_immediate(fx, payload))
+            .unwrap_or(-1);
         if rid >= 0 && (rid as usize) < reg.len() {
             return format!("#<rep-type {}>", reg.info(rid as u32).name);
         }

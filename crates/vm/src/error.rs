@@ -36,7 +36,10 @@ pub struct VmError {
 impl VmError {
     /// Creates an error.
     pub fn new(kind: VmErrorKind, message: impl Into<String>) -> VmError {
-        VmError { kind, message: message.into() }
+        VmError {
+            kind,
+            message: message.into(),
+        }
     }
 }
 

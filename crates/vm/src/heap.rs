@@ -47,7 +47,10 @@ pub struct Heap {
 impl Heap {
     /// Creates a heap with the given capacity in words.
     pub fn new(capacity_words: usize) -> Heap {
-        Heap { space: vec![0; capacity_words.max(64)], next: 0 }
+        Heap {
+            space: vec![0; capacity_words.max(64)],
+            next: 0,
+        }
     }
 
     /// Capacity in words.
@@ -101,9 +104,16 @@ impl Heap {
     ///
     /// Returns a [`VmError`] if `idx` is outside the allocated region.
     pub fn get(&self, idx: usize) -> Result<Word, VmError> {
-        self.space.get(idx).copied().filter(|_| idx < self.next).ok_or_else(|| {
-            VmError::new(VmErrorKind::BadMemoryAccess, format!("load outside heap at word {idx}"))
-        })
+        self.space
+            .get(idx)
+            .copied()
+            .filter(|_| idx < self.next)
+            .ok_or_else(|| {
+                VmError::new(
+                    VmErrorKind::BadMemoryAccess,
+                    format!("load outside heap at word {idx}"),
+                )
+            })
     }
 
     /// Writes the word at `idx`.
@@ -162,7 +172,12 @@ impl Heap {
     /// Cheney scan: walks every object copied so far, forwarding its
     /// fields. `scan` is the resume point; returns the new resume point
     /// (equal to [`Heap::used`] when done).
-    pub fn scan_from(&mut self, mut scan: usize, from: &mut [Word], ptr_table: &[bool; 8]) -> usize {
+    pub fn scan_from(
+        &mut self,
+        mut scan: usize,
+        from: &mut [Word],
+        ptr_table: &[bool; 8],
+    ) -> usize {
         while scan < self.next {
             let h = self.space[scan];
             let len = header_len(h);
@@ -243,7 +258,11 @@ mod tests {
         let new_a = h.forward(&mut from, a_ptr, &ptr_table);
         h.scan_from(0, &mut from, &ptr_table);
         let a_idx = (new_a >> 3) as usize;
-        assert_eq!(h.get(a_idx + 1).unwrap(), h.get(a_idx + 2).unwrap(), "sharing preserved");
+        assert_eq!(
+            h.get(a_idx + 1).unwrap(),
+            h.get(a_idx + 2).unwrap(),
+            "sharing preserved"
+        );
         assert_eq!(h.used(), 5);
     }
 

@@ -92,11 +92,21 @@ pub enum Inst {
     StoreX { p: Reg, x: Reg, disp: i32, s: Reg },
     /// Allocate an object of representation `rep` with `len` fields, all
     /// initialized to `fill`; `d` receives the tagged pointer.
-    AllocFill { d: Reg, len: RegImm, fill: Reg, rep: RepId },
+    AllocFill {
+        d: Reg,
+        len: RegImm,
+        fill: Reg,
+        rep: RepId,
+    },
     /// Unconditional jump to instruction index `t`.
     Jump { t: u32 },
     /// `if a cmp b goto t` (b may be an immediate).
-    JumpCmp { op: CmpOp, a: Reg, b: RegImm, t: u32 },
+    JumpCmp {
+        op: CmpOp,
+        a: Reg,
+        b: RegImm,
+        t: u32,
+    },
     /// `d <- globals[g]`.
     GlobalGet { d: Reg, g: u32 },
     /// `globals[g] <- s`.
@@ -109,7 +119,12 @@ pub enum Inst {
     Call { d: Reg, f: Reg, args: Vec<Reg> },
     /// Direct call to a known function (`clo` becomes the callee's closure
     /// register).
-    CallKnown { d: Reg, f: FnId, clo: Reg, args: Vec<Reg> },
+    CallKnown {
+        d: Reg,
+        f: FnId,
+        clo: Reg,
+        args: Vec<Reg>,
+    },
     /// Indirect tail call.
     TailCall { f: Reg, args: Vec<Reg> },
     /// Direct tail call.
@@ -278,11 +293,24 @@ mod tests {
     #[test]
     fn classes() {
         assert_eq!(Inst::Const { d: 0, imm: 1 }.class(), InstClass::Arith);
-        assert_eq!(Inst::LoadD { d: 0, p: 0, disp: 7 }.class(), InstClass::Memory);
+        assert_eq!(
+            Inst::LoadD {
+                d: 0,
+                p: 0,
+                disp: 7
+            }
+            .class(),
+            InstClass::Memory
+        );
         assert_eq!(Inst::Jump { t: 0 }.class(), InstClass::Branch);
         assert_eq!(Inst::Ret { s: 0 }.class(), InstClass::Call);
         assert_eq!(
-            Inst::Rep { op: RepVmOp::Ref, d: 0, args: vec![] }.class(),
+            Inst::Rep {
+                op: RepVmOp::Ref,
+                d: 0,
+                args: vec![]
+            }
+            .class(),
             InstClass::RepGeneric
         );
     }

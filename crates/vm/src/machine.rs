@@ -20,7 +20,10 @@ pub struct MachineConfig {
 
 impl Default for MachineConfig {
     fn default() -> MachineConfig {
-        MachineConfig { heap_words: 1 << 20, instruction_limit: None }
+        MachineConfig {
+            heap_words: 1 << 20,
+            instruction_limit: None,
+        }
     }
 }
 
@@ -87,8 +90,11 @@ impl Machine {
         let boolean = need_role(roles::BOOLEAN)?;
         let closure = need_role(roles::CLOSURE)?;
         let unspecified = need_role(roles::UNSPECIFIED)?;
-        for (name, id) in [("fixnum", fixnum), ("boolean", boolean), ("unspecified", unspecified)]
-        {
+        for (name, id) in [
+            ("fixnum", fixnum),
+            ("boolean", boolean),
+            ("unspecified", unspecified),
+        ] {
             if registry.info(id).is_pointer() {
                 return Err(VmError::new(
                     VmErrorKind::BadProgram,
@@ -141,7 +147,8 @@ impl Machine {
             };
         }
         if self.heap.needs_gc(need) {
-            self.heap.grow_to((self.heap.used() + need + 1).next_power_of_two());
+            self.heap
+                .grow_to((self.heap.used() + need + 1).next_power_of_two());
         }
         for e in &prog.pool {
             let w = match e {
@@ -187,13 +194,7 @@ impl Machine {
 
     /// Allocates, collecting or growing first if needed. `fill` must be a
     /// valid tagged word.
-    pub(crate) fn alloc_object(
-        &mut self,
-        len: usize,
-        type_id: u16,
-        tag: u64,
-        fill: Word,
-    ) -> Word {
+    pub(crate) fn alloc_object(&mut self, len: usize, type_id: u16, tag: u64, fill: Word) -> Word {
         self.ensure_space(len + 1);
         self.counters.allocated_words += len as u64 + 1;
         self.counters.allocated_objects += 1;
@@ -206,7 +207,8 @@ impl Machine {
             return;
         }
         self.collect();
-        if self.heap.needs_gc(words.saturating_sub(1)) || self.heap.free() < self.heap.capacity() / 4
+        if self.heap.needs_gc(words.saturating_sub(1))
+            || self.heap.free() < self.heap.capacity() / 4
         {
             let target = ((self.heap.used() + words) * 2).max(self.heap.capacity() * 2);
             self.heap.grow_to(target);
@@ -249,18 +251,34 @@ impl Machine {
         self.frames.last_mut().expect("active frame").regs[reg as usize] = w;
     }
 
-    fn new_frame(&self, fnid: u32, clo: Word, args: &[Word], ret_dst: Reg) -> Result<Frame, VmError> {
+    fn new_frame(
+        &self,
+        fnid: u32,
+        clo: Word,
+        args: &[Word],
+        ret_dst: Reg,
+    ) -> Result<Frame, VmError> {
         let fun = &self.program.funs[fnid as usize];
         if fun.arity != args.len() {
             return Err(VmError::new(
                 VmErrorKind::ArityMismatch,
-                format!("`{}` takes {} arguments, got {}", fun.name, fun.arity, args.len()),
+                format!(
+                    "`{}` takes {} arguments, got {}",
+                    fun.name,
+                    fun.arity,
+                    args.len()
+                ),
             ));
         }
         let mut regs = vec![self.role.reg_init; fun.nregs];
         regs[0] = clo;
         regs[1..1 + args.len()].copy_from_slice(args);
-        Ok(Frame { fnid, pc: 0, regs, ret_dst })
+        Ok(Frame {
+            fnid,
+            pc: 0,
+            regs,
+            ret_dst,
+        })
     }
 
     /// Builds a callee frame reading the closure and arguments from the
@@ -294,7 +312,12 @@ impl Machine {
             for (i, a) in arg_regs.iter().enumerate() {
                 regs[1 + i] = self.r(*a);
             }
-            return Ok(Frame { fnid, pc: 0, regs, ret_dst });
+            return Ok(Frame {
+                fnid,
+                pc: 0,
+                regs,
+                ret_dst,
+            });
         }
         if arg_regs.len() < fun.arity {
             return Err(VmError::new(
@@ -308,14 +331,29 @@ impl Machine {
             ));
         }
         let extras = arg_regs.len() - fun.arity;
-        let pair = self.registry.role(sxr_ir::rep::roles::PAIR).ok_or_else(|| {
-            VmError::new(VmErrorKind::BadProgram, "variadic call requires a `pair` representation")
-        })?;
-        let null = self.registry.role(sxr_ir::rep::roles::NULL).ok_or_else(|| {
-            VmError::new(VmErrorKind::BadProgram, "variadic call requires a `null` representation")
-        })?;
+        let pair = self
+            .registry
+            .role(sxr_ir::rep::roles::PAIR)
+            .ok_or_else(|| {
+                VmError::new(
+                    VmErrorKind::BadProgram,
+                    "variadic call requires a `pair` representation",
+                )
+            })?;
+        let null = self
+            .registry
+            .role(sxr_ir::rep::roles::NULL)
+            .ok_or_else(|| {
+                VmError::new(
+                    VmErrorKind::BadProgram,
+                    "variadic call requires a `null` representation",
+                )
+            })?;
         let RepKind::Pointer { tag: pair_tag, .. } = self.registry.info(pair).kind else {
-            return Err(VmError::new(VmErrorKind::BadProgram, "`pair` role must be a pointer"));
+            return Err(VmError::new(
+                VmErrorKind::BadProgram,
+                "`pair` role must be a pointer",
+            ));
         };
         // Reserve everything up front; reads below see post-GC registers.
         self.ensure_space(3 * extras + 1);
@@ -333,7 +371,12 @@ impl Machine {
             rest = p;
         }
         regs[1 + fun.arity] = rest;
-        Ok(Frame { fnid, pc: 0, regs, ret_dst })
+        Ok(Frame {
+            fnid,
+            pc: 0,
+            regs,
+            ret_dst,
+        })
     }
 
     fn closure_target(&self, fval: Word) -> Result<u32, VmError> {
@@ -378,7 +421,10 @@ impl Machine {
             self.counters.count(inst.class());
             if let Some(rem) = self.remaining.as_mut() {
                 if *rem == 0 {
-                    return Err(VmError::new(VmErrorKind::Timeout, "instruction budget exhausted"));
+                    return Err(VmError::new(
+                        VmErrorKind::Timeout,
+                        "instruction budget exhausted",
+                    ));
                 }
                 *rem -= 1;
             }
@@ -492,7 +538,9 @@ impl Machine {
                     let n = free.len();
                     self.ensure_space(n + 2);
                     let info = self.registry.info(self.role.closure);
-                    let RepKind::Pointer { tag, .. } = info.kind else { unreachable!() };
+                    let RepKind::Pointer { tag, .. } = info.kind else {
+                        unreachable!()
+                    };
                     let code = self.registry.encode_immediate(self.role.fixnum, f as i64);
                     let w = self.alloc_object(n + 1, self.role.closure as u16, tag, code);
                     let base = (w >> 3) as usize;
@@ -609,7 +657,10 @@ impl Machine {
             )
         })?;
         let RepKind::Pointer { tag, .. } = self.registry.info(reptype).kind else {
-            return Err(VmError::new(VmErrorKind::BadProgram, "`rep-type` role must be a pointer"));
+            return Err(VmError::new(
+                VmErrorKind::BadProgram,
+                "`rep-type` role must be a pointer",
+            ));
         };
         let payload = self.registry.encode_immediate(self.role.fixnum, rid as i64);
         let w = self.alloc_object(1, reptype as u16, tag, payload);
@@ -699,7 +750,10 @@ impl Machine {
             .role(roles::SYMBOL)
             .ok_or_else(|| VmError::new(VmErrorKind::BadProgram, "no `symbol` role"))?;
         let RepKind::Pointer { tag, .. } = self.registry.info(symrep).kind else {
-            return Err(VmError::new(VmErrorKind::BadProgram, "`symbol` role must be a pointer"));
+            return Err(VmError::new(
+                VmErrorKind::BadProgram,
+                "`symbol` role must be a pointer",
+            ));
         };
         // The string argument may move if allocation collects; re-derive it
         // afterwards via the interned name (we copy the name into the new
@@ -764,7 +818,11 @@ impl Machine {
                 let info = self.registry.info(rid);
                 let mut ok = self.registry.tag_matches(rid, w);
                 if ok {
-                    if let RepKind::Pointer { discriminated: true, .. } = info.kind {
+                    if let RepKind::Pointer {
+                        discriminated: true,
+                        ..
+                    } = info.kind
+                    {
                         let base = (w >> 3) as usize;
                         ok = header_type(self.heap.get(base)?) == rid as u16;
                     }

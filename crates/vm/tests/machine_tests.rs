@@ -4,8 +4,8 @@
 use sxr_ir::rep::RepRegistry;
 use sxr_sexp::Datum;
 use sxr_vm::{
-    BinOp, CmpOp, CodeFun, CodeProgram, Inst, Machine, MachineConfig, PoolEntry, RegImm,
-    RepVmOp, VmErrorKind,
+    BinOp, CmpOp, CodeFun, CodeProgram, Inst, Machine, MachineConfig, PoolEntry, RegImm, RepVmOp,
+    VmErrorKind,
 };
 
 /// The classic tagging scheme the shipped prelude uses; tests build it by
@@ -22,7 +22,9 @@ fn classic_registry() -> Reg {
     let bo = reg.intern_immediate("boolean", 8, 0b0000_0010, 8).unwrap();
     let ch = reg.intern_immediate("char", 8, 0b0001_0010, 8).unwrap();
     let nil = reg.intern_immediate("null", 8, 0b0010_0010, 8).unwrap();
-    let un = reg.intern_immediate("unspecified", 8, 0b0011_0010, 8).unwrap();
+    let un = reg
+        .intern_immediate("unspecified", 8, 0b0011_0010, 8)
+        .unwrap();
     let pair = reg.intern_pointer("pair", 0b001, false).unwrap();
     let vec_r = reg.intern_pointer("vector", 0b011, false).unwrap();
     let string = reg.intern_pointer("string", 0b101, false).unwrap();
@@ -89,8 +91,18 @@ fn arithmetic_and_describe() {
             Inst::Const { d: 1, imm: enc(6) },
             Inst::Const { d: 2, imm: enc(7) },
             // fixnum multiply: (a >> 3) * b  (tags are 0)
-            Inst::BinI { op: BinOp::Shr, d: 3, a: 1, imm: 3 },
-            Inst::Bin { op: BinOp::Mul, d: 3, a: 3, b: 2 },
+            Inst::BinI {
+                op: BinOp::Shr,
+                d: 3,
+                a: 1,
+                imm: 3,
+            },
+            Inst::Bin {
+                op: BinOp::Mul,
+                d: 3,
+                a: 3,
+                b: 2,
+            },
             Inst::Ret { s: 3 },
         ],
     );
@@ -103,9 +115,17 @@ fn arithmetic_and_describe() {
 fn pool_constants_roundtrip() {
     let r = classic_registry();
     let datum = sxr_sexp::parse_one("(1 (\"two\" #\\x) sym #t . 9)").unwrap();
-    let main = fun("main", 0, 2, vec![Inst::Pool { d: 1, idx: 0 }, Inst::Ret { s: 1 }]);
-    let (s, _m) =
-        run_program(one_fun_program(r.reg, main, vec![PoolEntry::Datum(datum.clone())]));
+    let main = fun(
+        "main",
+        0,
+        2,
+        vec![Inst::Pool { d: 1, idx: 0 }, Inst::Ret { s: 1 }],
+    );
+    let (s, _m) = run_program(one_fun_program(
+        r.reg,
+        main,
+        vec![PoolEntry::Datum(datum.clone())],
+    ));
     assert_eq!(s, datum.to_string());
 }
 
@@ -113,7 +133,12 @@ fn pool_constants_roundtrip() {
 fn vector_literal_and_symbol_interning() {
     let r = classic_registry();
     let v = sxr_sexp::parse_one("#(a b a)").unwrap();
-    let main = fun("main", 0, 2, vec![Inst::Pool { d: 1, idx: 0 }, Inst::Ret { s: 1 }]);
+    let main = fun(
+        "main",
+        0,
+        2,
+        vec![Inst::Pool { d: 1, idx: 0 }, Inst::Ret { s: 1 }],
+    );
     let (s, m) = run_program(one_fun_program(r.reg, main, vec![PoolEntry::Datum(v)]));
     assert_eq!(s, "#(a b a)");
     // Interning: the two `a`s are the same heap word.
@@ -133,9 +158,18 @@ fn calls_closures_and_globals() {
         free_count: 1,
         insts: vec![
             // load free var
-            Inst::LoadD { d: 2, p: 0, disp: 8 * 2 - 0b111 },
+            Inst::LoadD {
+                d: 2,
+                p: 0,
+                disp: 8 * 2 - 0b111,
+            },
             // fixnum add: x + captured (tags 0)
-            Inst::Bin { op: BinOp::Add, d: 3, a: 1, b: 2 },
+            Inst::Bin {
+                op: BinOp::Add,
+                d: 3,
+                a: 1,
+                b: 2,
+            },
             Inst::Ret { s: 3 },
         ],
         ptr_map: vec![true; 4],
@@ -146,11 +180,19 @@ fn calls_closures_and_globals() {
         5,
         vec![
             Inst::Const { d: 1, imm: enc(10) },
-            Inst::MakeClosure { d: 2, f: 1, free: vec![1] },
+            Inst::MakeClosure {
+                d: 2,
+                f: 1,
+                free: vec![1],
+            },
             Inst::GlobalSet { g: 0, s: 2 },
             Inst::GlobalGet { d: 3, g: 0 },
             Inst::Const { d: 1, imm: enc(32) },
-            Inst::Call { d: 4, f: 3, args: vec![1] },
+            Inst::Call {
+                d: 4,
+                f: 3,
+                args: vec![1],
+            },
             Inst::Ret { s: 4 },
         ],
     );
@@ -179,11 +221,25 @@ fn tail_call_does_not_grow_stack() {
         nregs: 3,
         free_count: 0,
         insts: vec![
-            Inst::JumpCmp { op: CmpOp::Ne, a: 1, b: RegImm::Imm(0), t: 3 },
+            Inst::JumpCmp {
+                op: CmpOp::Ne,
+                a: 1,
+                b: RegImm::Imm(0),
+                t: 3,
+            },
             Inst::Const { d: 2, imm: enc(99) },
             Inst::Ret { s: 2 },
-            Inst::BinI { op: BinOp::Sub, d: 1, a: 1, imm: 8 },
-            Inst::TailCallKnown { f: 1, clo: 0, args: vec![1] },
+            Inst::BinI {
+                op: BinOp::Sub,
+                d: 1,
+                a: 1,
+                imm: 8,
+            },
+            Inst::TailCallKnown {
+                f: 1,
+                clo: 0,
+                args: vec![1],
+            },
         ],
         ptr_map: vec![true, true, true],
     };
@@ -192,9 +248,20 @@ fn tail_call_does_not_grow_stack() {
         0,
         3,
         vec![
-            Inst::Const { d: 1, imm: enc(1_000_000) },
-            Inst::MakeClosure { d: 2, f: 1, free: vec![] },
-            Inst::Call { d: 1, f: 2, args: vec![1] },
+            Inst::Const {
+                d: 1,
+                imm: enc(1_000_000),
+            },
+            Inst::MakeClosure {
+                d: 2,
+                f: 1,
+                free: vec![],
+            },
+            Inst::Call {
+                d: 1,
+                f: 2,
+                args: vec![1],
+            },
             Inst::Ret { s: 1 },
         ],
     );
@@ -225,19 +292,56 @@ fn allocation_load_store_and_gc_survival() {
         vec![
             Inst::Const { d: 1, imm: enc(7) },
             Inst::Const { d: 2, imm: enc(35) },
-            Inst::AllocFill { d: 3, len: RegImm::Imm(2), fill: 1, rep: 5 }, // pair rep id
-            Inst::StoreD { p: 3, disp: 8 * 2 - pair_tag, s: 2 },            // cdr := 35
+            Inst::AllocFill {
+                d: 3,
+                len: RegImm::Imm(2),
+                fill: 1,
+                rep: 5,
+            }, // pair rep id
+            Inst::StoreD {
+                p: 3,
+                disp: 8 * 2 - pair_tag,
+                s: 2,
+            }, // cdr := 35
             // garbage loop: 50_000 iterations of a 2-field alloc
-            Inst::Const { d: 4, imm: 50_000 },                               // raw counter
+            Inst::Const { d: 4, imm: 50_000 }, // raw counter
             // L5:
-            Inst::JumpCmp { op: CmpOp::Eq, a: 4, b: RegImm::Imm(0), t: 9 },
-            Inst::AllocFill { d: 5, len: RegImm::Imm(2), fill: 1, rep: 5 },
-            Inst::BinI { op: BinOp::Sub, d: 4, a: 4, imm: 1 },
+            Inst::JumpCmp {
+                op: CmpOp::Eq,
+                a: 4,
+                b: RegImm::Imm(0),
+                t: 9,
+            },
+            Inst::AllocFill {
+                d: 5,
+                len: RegImm::Imm(2),
+                fill: 1,
+                rep: 5,
+            },
+            Inst::BinI {
+                op: BinOp::Sub,
+                d: 4,
+                a: 4,
+                imm: 1,
+            },
             Inst::Jump { t: 5 },
             // L9: sum car + cdr of the live pair
-            Inst::LoadD { d: 6, p: 3, disp: 8 - pair_tag },
-            Inst::LoadD { d: 7, p: 3, disp: 16 - pair_tag },
-            Inst::Bin { op: BinOp::Add, d: 6, a: 6, b: 7 },
+            Inst::LoadD {
+                d: 6,
+                p: 3,
+                disp: 8 - pair_tag,
+            },
+            Inst::LoadD {
+                d: 7,
+                p: 3,
+                disp: 16 - pair_tag,
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                d: 6,
+                a: 6,
+                b: 7,
+            },
             Inst::Ret { s: 6 },
         ],
     );
@@ -254,12 +358,19 @@ fn allocation_load_store_and_gc_survival() {
     };
     let mut m = Machine::new(
         prog,
-        MachineConfig { heap_words: 4096, instruction_limit: None },
+        MachineConfig {
+            heap_words: 4096,
+            instruction_limit: None,
+        },
     )
     .unwrap();
     let w = m.run().unwrap();
     assert_eq!(m.describe(w), "42");
-    assert!(m.counters.gc_count > 10, "expected many GCs, got {}", m.counters.gc_count);
+    assert!(
+        m.counters.gc_count > 10,
+        "expected many GCs, got {}",
+        m.counters.gc_count
+    );
     assert_eq!(m.counters.allocated_objects, 50_001);
 }
 
@@ -276,18 +387,47 @@ fn generic_rep_ops_work_at_runtime() {
         vec![
             Inst::Pool { d: 1, idx: 0 }, // 'mytype symbol
             Inst::Const { d: 2, imm: enc(8) },
-            Inst::Const { d: 3, imm: enc(0b0100_0010) },
+            Inst::Const {
+                d: 3,
+                imm: enc(0b0100_0010),
+            },
             Inst::Const { d: 4, imm: enc(8) },
-            Inst::Rep { op: RepVmOp::MakeImm, d: 5, args: vec![1, 2, 3, 4] },
+            Inst::Rep {
+                op: RepVmOp::MakeImm,
+                d: 5,
+                args: vec![1, 2, 3, 4],
+            },
             // inject raw 5, test, project
             Inst::Const { d: 6, imm: 5 }, // raw
-            Inst::Rep { op: RepVmOp::Inject, d: 6, args: vec![5, 6] },
-            Inst::Rep { op: RepVmOp::Test, d: 7, args: vec![5, 6] },
+            Inst::Rep {
+                op: RepVmOp::Inject,
+                d: 6,
+                args: vec![5, 6],
+            },
+            Inst::Rep {
+                op: RepVmOp::Test,
+                d: 7,
+                args: vec![5, 6],
+            },
             // result = project(inject(5)) if test else 0
-            Inst::JumpCmp { op: CmpOp::Eq, a: 7, b: RegImm::Imm(0), t: 11 },
-            Inst::Rep { op: RepVmOp::Project, d: 6, args: vec![5, 6] },
+            Inst::JumpCmp {
+                op: CmpOp::Eq,
+                a: 7,
+                b: RegImm::Imm(0),
+                t: 11,
+            },
+            Inst::Rep {
+                op: RepVmOp::Project,
+                d: 6,
+                args: vec![5, 6],
+            },
             // tagged fixnum result: 5 << 3
-            Inst::BinI { op: BinOp::Shl, d: 6, a: 6, imm: 3 },
+            Inst::BinI {
+                op: BinOp::Shl,
+                d: 6,
+                a: 6,
+                imm: 3,
+            },
             Inst::Ret { s: 6 },
         ],
     );
@@ -313,15 +453,31 @@ fn generic_rep_alloc_ref_set_len() {
         0,
         8,
         vec![
-            Inst::Pool { d: 1, idx: 0 }, // rep object for pair
+            Inst::Pool { d: 1, idx: 0 },  // rep object for pair
             Inst::Const { d: 2, imm: 2 }, // raw length
             Inst::Const { d: 3, imm: enc(11) },
-            Inst::Rep { op: RepVmOp::Alloc, d: 4, args: vec![1, 2, 3] },
+            Inst::Rep {
+                op: RepVmOp::Alloc,
+                d: 4,
+                args: vec![1, 2, 3],
+            },
             Inst::Const { d: 5, imm: 1 }, // raw index
             Inst::Const { d: 6, imm: enc(31) },
-            Inst::Rep { op: RepVmOp::Set, d: 7, args: vec![1, 4, 5, 6] },
-            Inst::Rep { op: RepVmOp::Ref, d: 6, args: vec![1, 4, 5] },
-            Inst::Rep { op: RepVmOp::Ref, d: 3, args: vec![1, 4, 2] }, // index 2: out of range!
+            Inst::Rep {
+                op: RepVmOp::Set,
+                d: 7,
+                args: vec![1, 4, 5, 6],
+            },
+            Inst::Rep {
+                op: RepVmOp::Ref,
+                d: 6,
+                args: vec![1, 4, 5],
+            },
+            Inst::Rep {
+                op: RepVmOp::Ref,
+                d: 3,
+                args: vec![1, 4, 2],
+            }, // index 2: out of range!
             Inst::Ret { s: 6 },
         ],
     );
@@ -348,7 +504,12 @@ fn errors_are_reported() {
         vec![
             Inst::Const { d: 1, imm: enc(1) },
             Inst::Const { d: 2, imm: 0 },
-            Inst::Bin { op: BinOp::Quot, d: 1, a: 1, b: 2 },
+            Inst::Bin {
+                op: BinOp::Quot,
+                d: 1,
+                a: 1,
+                b: 2,
+            },
             Inst::Ret { s: 1 },
         ],
     );
@@ -363,8 +524,15 @@ fn errors_are_reported() {
         0,
         3,
         vec![
-            Inst::Const { d: 1, imm: r.reg.encode_immediate(r.fx, 5) },
-            Inst::Call { d: 2, f: 1, args: vec![] },
+            Inst::Const {
+                d: 1,
+                imm: r.reg.encode_immediate(r.fx, 5),
+            },
+            Inst::Call {
+                d: 2,
+                f: 1,
+                args: vec![],
+            },
             Inst::Ret { s: 2 },
         ],
     );
@@ -382,8 +550,16 @@ fn arity_mismatch() {
         0,
         3,
         vec![
-            Inst::MakeClosure { d: 1, f: 1, free: vec![] },
-            Inst::Call { d: 2, f: 1, args: vec![] },
+            Inst::MakeClosure {
+                d: 1,
+                f: 1,
+                free: vec![],
+            },
+            Inst::Call {
+                d: 2,
+                f: 1,
+                args: vec![],
+            },
             Inst::Ret { s: 2 },
         ],
     );
@@ -411,10 +587,16 @@ fn write_char_output_and_reset_counters() {
         0,
         2,
         vec![
-            Inst::Const { d: 1, imm: enc_c('h') },
+            Inst::Const {
+                d: 1,
+                imm: enc_c('h'),
+            },
             Inst::WriteChar { s: 1 },
             Inst::ResetCounters,
-            Inst::Const { d: 1, imm: enc_c('i') },
+            Inst::Const {
+                d: 1,
+                imm: enc_c('i'),
+            },
             Inst::WriteChar { s: 1 },
             Inst::Ret { s: 1 },
         ],
@@ -434,7 +616,10 @@ fn instruction_limit_timeout() {
     let prog = one_fun_program(r.reg, main, vec![]);
     let mut m = Machine::new(
         prog,
-        MachineConfig { heap_words: 1 << 12, instruction_limit: Some(10_000) },
+        MachineConfig {
+            heap_words: 1 << 12,
+            instruction_limit: Some(10_000),
+        },
     )
     .unwrap();
     assert_eq!(m.run().unwrap_err().kind, VmErrorKind::Timeout);
@@ -471,9 +656,19 @@ fn intern_instruction_dedups() {
             Inst::Pool { d: 2, idx: 1 }, // "abc" string 2 (distinct object)
             Inst::Intern { d: 3, s: 1 },
             Inst::Intern { d: 4, s: 2 },
-            Inst::Bin { op: BinOp::CmpEq, d: 1, a: 3, b: 4 },
+            Inst::Bin {
+                op: BinOp::CmpEq,
+                d: 1,
+                a: 3,
+                b: 4,
+            },
             // raw 1/0 -> fixnum
-            Inst::BinI { op: BinOp::Shl, d: 1, a: 1, imm: 3 },
+            Inst::BinI {
+                op: BinOp::Shl,
+                d: 1,
+                a: 1,
+                imm: 3,
+            },
             Inst::Ret { s: 1 },
         ],
     );
@@ -508,11 +703,19 @@ fn variadic_calls_build_rest_lists() {
         0,
         6,
         vec![
-            Inst::MakeClosure { d: 1, f: 1, free: vec![] },
+            Inst::MakeClosure {
+                d: 1,
+                f: 1,
+                free: vec![],
+            },
             Inst::Const { d: 2, imm: enc(1) },
             Inst::Const { d: 3, imm: enc(2) },
             Inst::Const { d: 4, imm: enc(3) },
-            Inst::Call { d: 5, f: 1, args: vec![2, 3, 4] },
+            Inst::Call {
+                d: 5,
+                f: 1,
+                args: vec![2, 3, 4],
+            },
             Inst::Ret { s: 5 },
         ],
     );
@@ -546,9 +749,17 @@ fn variadic_with_exact_arity_gets_empty_rest() {
         0,
         4,
         vec![
-            Inst::MakeClosure { d: 1, f: 1, free: vec![] },
+            Inst::MakeClosure {
+                d: 1,
+                f: 1,
+                free: vec![],
+            },
             Inst::Const { d: 2, imm: enc(1) },
-            Inst::Call { d: 3, f: 1, args: vec![2] },
+            Inst::Call {
+                d: 3,
+                f: 1,
+                args: vec![2],
+            },
             Inst::Ret { s: 3 },
         ],
     );
@@ -581,8 +792,16 @@ fn variadic_too_few_args_is_arity_error() {
         0,
         3,
         vec![
-            Inst::MakeClosure { d: 1, f: 1, free: vec![] },
-            Inst::Call { d: 2, f: 1, args: vec![1] },
+            Inst::MakeClosure {
+                d: 1,
+                f: 1,
+                free: vec![],
+            },
+            Inst::Call {
+                d: 2,
+                f: 1,
+                args: vec![1],
+            },
             Inst::Ret { s: 2 },
         ],
     );
@@ -614,11 +833,30 @@ fn heap_grows_transparently() {
             Inst::Const { d: 1, imm: nil },    // the (live, growing) list
             Inst::Const { d: 2, imm: 20_000 }, // raw counter
             // L2: loop head
-            Inst::JumpCmp { op: CmpOp::Eq, a: 2, b: RegImm::Imm(0), t: 8 },
-            Inst::AllocFill { d: 3, len: RegImm::Imm(2), fill: 1, rep: 5 },
-            Inst::StoreD { p: 3, disp: 16 - pair_tag, s: 1 }, // cdr := list
+            Inst::JumpCmp {
+                op: CmpOp::Eq,
+                a: 2,
+                b: RegImm::Imm(0),
+                t: 8,
+            },
+            Inst::AllocFill {
+                d: 3,
+                len: RegImm::Imm(2),
+                fill: 1,
+                rep: 5,
+            },
+            Inst::StoreD {
+                p: 3,
+                disp: 16 - pair_tag,
+                s: 1,
+            }, // cdr := list
             Inst::Move { d: 1, s: 3 },
-            Inst::BinI { op: BinOp::Sub, d: 2, a: 2, imm: 1 },
+            Inst::BinI {
+                op: BinOp::Sub,
+                d: 2,
+                a: 2,
+                imm: 1,
+            },
             Inst::Jump { t: 2 },
             // L8: exit
             Inst::Const { d: 4, imm: enc(99) },
@@ -636,7 +874,10 @@ fn heap_grows_transparently() {
     };
     let mut m = Machine::new(
         prog,
-        MachineConfig { heap_words: 1 << 10, instruction_limit: None },
+        MachineConfig {
+            heap_words: 1 << 10,
+            instruction_limit: None,
+        },
     )
     .unwrap();
     let w = m.run().unwrap();

@@ -10,13 +10,26 @@ use sxr::{Compiler, PipelineConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let name = args.first().map(String::as_str).unwrap_or("car").to_string();
+    let name = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("car")
+        .to_string();
     let source = args.get(1).cloned().unwrap_or_else(|| "0".to_string());
 
     for (label, cfg) in [
-        ("Traditional (hand-written intrinsic expansion)", PipelineConfig::traditional()),
-        ("AbstractOpt (library code + general optimizer)", PipelineConfig::abstract_optimized()),
-        ("AbstractNoOpt (library code, optimizer off)", PipelineConfig::abstract_unoptimized()),
+        (
+            "Traditional (hand-written intrinsic expansion)",
+            PipelineConfig::traditional(),
+        ),
+        (
+            "AbstractOpt (library code + general optimizer)",
+            PipelineConfig::abstract_optimized(),
+        ),
+        (
+            "AbstractNoOpt (library code, optimizer off)",
+            PipelineConfig::abstract_unoptimized(),
+        ),
     ] {
         let compiled = Compiler::new(cfg).compile(&source).expect("compiles");
         println!("==== {label}");

@@ -4,18 +4,24 @@
 use sxr::{Compiler, PipelineConfig};
 
 fn compile_opt(src: &str) -> sxr::Compiled {
-    Compiler::new(PipelineConfig::abstract_optimized()).compile(src).unwrap()
+    Compiler::new(PipelineConfig::abstract_optimized())
+        .compile(src)
+        .unwrap()
 }
 
 fn dis(c: &sxr::Compiled, name: &str) -> String {
-    c.disassemble(name).unwrap_or_else(|| panic!("no fn {name}"))
+    c.disassemble(name)
+        .unwrap_or_else(|| panic!("no fn {name}"))
 }
 
 #[test]
 fn fx_less_fuses_into_one_branch() {
     let c = compile_opt("(define (lt2? a b) (if (fx< a b) 'yes 'no)) 0");
     let d = dis(&c, "lt2?");
-    assert!(d.contains("JumpCmp { op: Ge"), "fused compare-and-branch:\n{d}");
+    assert!(
+        d.contains("JumpCmp { op: Ge"),
+        "fused compare-and-branch:\n{d}"
+    );
     assert!(!d.contains("CmpLt"), "no separate comparison:\n{d}");
 }
 
@@ -33,7 +39,10 @@ fn car_is_single_displacement_load() {
 fn vector_ref_uses_indexed_addressing() {
     let c = compile_opt("0");
     let d = dis(&c, "vector-ref");
-    assert!(d.contains("LoadX"), "indexed load with fused tag math:\n{d}");
+    assert!(
+        d.contains("LoadX"),
+        "indexed load with fused tag math:\n{d}"
+    );
     assert_eq!(c.static_count("vector-ref"), Some(2));
 }
 
@@ -72,9 +81,7 @@ fn no_jumps_to_fallthrough() {
 
 #[test]
 fn branch_targets_in_range() {
-    let c = compile_opt(
-        "(define (weird x) (if (if (pair? x) (fx< (car x) 0) #f) 'neg 'other)) 0",
-    );
+    let c = compile_opt("(define (weird x) (if (if (pair? x) (fx< (car x) 0) #f) 'neg 'other)) 0");
     for f in &c.code.funs {
         let n = f.insts.len() as u32;
         for inst in &f.insts {
@@ -104,11 +111,11 @@ fn pointer_maps_mark_projections_raw() {
 
 #[test]
 fn self_recursive_loop_uses_known_tail_call() {
-    let c = compile_opt(
-        "(define (run) (let loop ((i 0)) (if (fx= i 10) i (loop (fx+ i 1))))) 0",
-    );
+    let c = compile_opt("(define (run) (let loop ((i 0)) (if (fx= i 10) i (loop (fx+ i 1))))) 0");
     let has_known_tail = c.code.funs.iter().any(|f| {
-        f.insts.iter().any(|i| matches!(i, sxr_vm::Inst::TailCallKnown { .. }))
+        f.insts
+            .iter()
+            .any(|i| matches!(i, sxr_vm::Inst::TailCallKnown { .. }))
     });
     assert!(has_known_tail, "loop should compile to a direct tail call");
 }
@@ -117,7 +124,9 @@ fn self_recursive_loop_uses_known_tail_call() {
 fn traditional_and_abstract_agree_instruction_for_instruction_on_fib() {
     let src = "(define (fib n) (if (fx< n 2) n (fx+ (fib (fx- n 1)) (fib (fx- n 2))))) 0";
     let a = compile_opt(src);
-    let t = Compiler::new(PipelineConfig::traditional()).compile(src).unwrap();
+    let t = Compiler::new(PipelineConfig::traditional())
+        .compile(src)
+        .unwrap();
     assert_eq!(
         a.fun_by_name("fib").unwrap().insts,
         t.fun_by_name("fib").unwrap().insts,

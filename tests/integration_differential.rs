@@ -10,8 +10,14 @@ use sxr_bench::BENCHMARKS;
 fn configs() -> Vec<(String, PipelineConfig)> {
     let mut v = vec![
         ("Traditional".to_string(), PipelineConfig::traditional()),
-        ("AbstractOpt".to_string(), PipelineConfig::abstract_optimized()),
-        ("AbstractNoOpt".to_string(), PipelineConfig::abstract_unoptimized()),
+        (
+            "AbstractOpt".to_string(),
+            PipelineConfig::abstract_optimized(),
+        ),
+        (
+            "AbstractNoOpt".to_string(),
+            PipelineConfig::abstract_unoptimized(),
+        ),
     ];
     for pass in ["inline", "constfold", "repspec", "bits", "cse", "dce"] {
         v.push((format!("Ablate({pass})"), PipelineConfig::ablated(pass)));
@@ -80,8 +86,11 @@ fn abstract_opt_matches_traditional_instruction_counts() {
     let mut total_trad = 0u64;
     let mut total_opt = 0u64;
     for b in BENCHMARKS {
-        let trad =
-            Compiler::new(PipelineConfig::traditional()).compile(b.source).unwrap().run().unwrap();
+        let trad = Compiler::new(PipelineConfig::traditional())
+            .compile(b.source)
+            .unwrap()
+            .run()
+            .unwrap();
         let aopt = Compiler::new(PipelineConfig::abstract_optimized())
             .compile(b.source)
             .unwrap()
@@ -116,5 +125,8 @@ fn noopt_is_much_slower() {
         .run()
         .unwrap();
     let ratio = noopt.counters.total as f64 / aopt.counters.total as f64;
-    assert!(ratio > 3.0, "expected >3x slowdown without optimization, got {ratio:.2}");
+    assert!(
+        ratio > 3.0,
+        "expected >3x slowdown without optimization, got {ratio:.2}"
+    );
 }

@@ -32,7 +32,10 @@ fn pairs_and_lists() {
 #[test]
 fn display_output() {
     assert_eq!(run("(display (fx+ 40 2))").1, "42");
-    assert_eq!(run("(display \"hello\") (newline) (display 'world)").1, "hello\nworld");
+    assert_eq!(
+        run("(display \"hello\") (newline) (display 'world)").1,
+        "hello\nworld"
+    );
     assert_eq!(run("(display (list3 1 #\\a \"s\"))").1, "(1 a s)");
     assert_eq!(run("(write (list2 #\\a \"s\"))").1, "(#\\a \"s\")");
     assert_eq!(run("(display -273)").1, "-273");
@@ -52,7 +55,10 @@ fn recursion_and_loops() {
 
 #[test]
 fn vectors_and_strings() {
-    assert_eq!(run("(let ((v (make-vector 3 7))) (vector-set! v 1 9) (vector-ref v 1))").0, "9");
+    assert_eq!(
+        run("(let ((v (make-vector 3 7))) (vector-set! v 1 9) (vector-ref v 1))").0,
+        "9"
+    );
     assert_eq!(run("(vector-length (make-vector 5 0))").0, "5");
     assert_eq!(run("(string-length \"abcd\")").0, "4");
     assert_eq!(run("(string-ref \"abc\" 1)").0, "#\\b");
@@ -71,7 +77,10 @@ fn quoted_data_and_equality() {
 
 #[test]
 fn set_and_boxes() {
-    assert_eq!(run("(define counter 0) (set! counter (fx+ counter 1)) counter").0, "1");
+    assert_eq!(
+        run("(define counter 0) (set! counter (fx+ counter 1)) counter").0,
+        "1"
+    );
     assert_eq!(
         run("(define (make-counter)
                (let ((n 0))
@@ -85,7 +94,10 @@ fn set_and_boxes() {
 
 #[test]
 fn higher_order() {
-    assert_eq!(run("(map (lambda (x) (fx* x x)) (list3 1 2 3))").0, "(1 4 9)");
+    assert_eq!(
+        run("(map (lambda (x) (fx* x x)) (list3 1 2 3))").0,
+        "(1 4 9)"
+    );
     assert_eq!(run("(fold-left fx+ 0 (iota 10))").0, "45");
     assert_eq!(run("(filter even? (iota 8))").0, "(0 2 4 6)");
 }
@@ -110,7 +122,10 @@ fn runtime_errors_surface() {
     let compiled = Compiler::new(PipelineConfig::abstract_optimized())
         .compile("(define x 5) (x 1)")
         .unwrap();
-    assert_eq!(compiled.run().unwrap_err().kind, sxr::VmErrorKind::NotAProcedure);
+    assert_eq!(
+        compiled.run().unwrap_err().kind,
+        sxr::VmErrorKind::NotAProcedure
+    );
 }
 
 #[test]
@@ -170,7 +185,10 @@ fn variadic_arity_errors() {
     let compiled = Compiler::new(PipelineConfig::abstract_optimized())
         .compile("(define (f a . rest) a) (f)")
         .unwrap();
-    assert_eq!(compiled.run().unwrap_err().kind, sxr::VmErrorKind::ArityMismatch);
+    assert_eq!(
+        compiled.run().unwrap_err().kind,
+        sxr::VmErrorKind::ArityMismatch
+    );
 }
 
 #[test]
@@ -195,7 +213,9 @@ fn define_record_type() {
     }
 
     // Under the optimizing pipeline the accessor is a single load + return.
-    let compiled = Compiler::new(PipelineConfig::abstract_optimized()).compile(src).unwrap();
+    let compiled = Compiler::new(PipelineConfig::abstract_optimized())
+        .compile(src)
+        .unwrap();
     assert_eq!(compiled.static_count("kons-kar"), Some(2));
 }
 

@@ -3,7 +3,7 @@
 //! independence — running the whole system under a *different* tagging
 //! scheme by swapping the representation library.
 
-use sxr::{Compiler, PipelineConfig, PRIMS_ABSTRACT_SCM, LIBRARY_SCM};
+use sxr::{Compiler, PipelineConfig, LIBRARY_SCM, PRIMS_ABSTRACT_SCM};
 
 fn run(src: &str) -> sxr::Outcome {
     Compiler::new(PipelineConfig::abstract_optimized())
@@ -95,15 +95,21 @@ fn gc_stress_under_tiny_heap() {
         .run()
         .unwrap();
     assert_eq!(out.output, "1225 50");
-    assert!(out.counters.gc_count > 5, "expected collections, got {}", out.counters.gc_count);
+    assert!(
+        out.counters.gc_count > 5,
+        "expected collections, got {}",
+        out.counters.gc_count
+    );
 }
 
 #[test]
 fn deep_non_tail_recursion() {
     // Non-tail recursion a few thousand deep exercises the frame stack.
     assert_eq!(
-        run("(define (sum-to n) (if (fx= n 0) 0 (fx+ n (sum-to (fx- n 1)))))
-             (sum-to 5000)")
+        run(
+            "(define (sum-to n) (if (fx= n 0) 0 (fx+ n (sum-to (fx- n 1)))))
+             (sum-to 5000)"
+        )
         .value,
         "12502500"
     );
@@ -179,9 +185,10 @@ fn alternative_tagging_scheme_changes_nothing_observable() {
     ];
     for src in programs {
         let standard = run(src).output;
-        for cfg in
-            [PipelineConfig::abstract_optimized(), PipelineConfig::abstract_unoptimized()]
-        {
+        for cfg in [
+            PipelineConfig::abstract_optimized(),
+            PipelineConfig::abstract_unoptimized(),
+        ] {
             let alt = Compiler::new(cfg)
                 .compile_with_prelude(&[ALT_REPS_SCM, PRIMS_ABSTRACT_SCM, LIBRARY_SCM], src)
                 .unwrap_or_else(|e| panic!("alt-tagging compile failed: {e}\n{src}"))
@@ -232,7 +239,11 @@ fn shipped_scheme_examples_run_identically_everywhere() {
                 .unwrap_or_else(|e| panic!("{path}: {e}"))
                 .run()
                 .unwrap_or_else(|e| panic!("{path}: {e}"));
-            assert!(out.output.contains(expect_contains), "{path}: {}", out.output);
+            assert!(
+                out.output.contains(expect_contains),
+                "{path}: {}",
+                out.output
+            );
             outputs.push(out.output);
         }
         assert!(outputs.windows(2).all(|w| w[0] == w[1]), "{path} diverged");

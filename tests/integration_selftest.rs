@@ -13,7 +13,11 @@ fn run_under(label: &str, cfg: PipelineConfig) {
         .unwrap_or_else(|e| panic!("[{label}] selftest failed to compile: {e}"))
         .run()
         .unwrap_or_else(|e| panic!("[{label}] selftest failed to run: {e}"));
-    assert_eq!(out.value, "ok", "[{label}] corpus reported failures:\n{}", out.output);
+    assert_eq!(
+        out.value, "ok",
+        "[{label}] corpus reported failures:\n{}",
+        out.output
+    );
     assert!(
         out.output.ends_with("0 failures\n"),
         "[{label}] unexpected report: {}",
