@@ -174,3 +174,160 @@ pub const BENCHMARKS: &[Benchmark] = &[
 pub fn benchmark(name: &str) -> Option<&'static Benchmark> {
     BENCHMARKS.iter().find(|b| b.name == name)
 }
+
+// ---------------------------------------------------------------------------
+// Measurement harness (`bench_vm`)
+// ---------------------------------------------------------------------------
+
+use std::time::Duration;
+use sxr::report::run_timed;
+use sxr::{Compiler, Counters, PipelineConfig};
+
+/// The pipeline configurations the wall-clock harness measures, with their
+/// report labels.
+pub fn measured_configs() -> Vec<(&'static str, PipelineConfig)> {
+    vec![
+        ("traditional", PipelineConfig::traditional()),
+        ("abstract-opt", PipelineConfig::abstract_optimized()),
+        ("abstract-noopt", PipelineConfig::abstract_unoptimized()),
+    ]
+}
+
+/// One (benchmark, configuration) measurement: wall-clock statistics over
+/// `iters` fresh-machine runs plus the dynamic counters of the final run
+/// (counters are deterministic across runs, so any run's will do).
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name (see [`BENCHMARKS`]).
+    pub name: String,
+    /// Configuration label (see [`measured_configs`]).
+    pub config: String,
+    /// Median per-run wall-clock time.
+    pub median: Duration,
+    /// Mean per-run wall-clock time.
+    pub mean: Duration,
+    /// Fastest run.
+    pub min: Duration,
+    /// The program's final value.
+    pub value: String,
+    /// Whether `value` matched the benchmark's differential oracle.
+    pub ok: bool,
+    /// Dynamic counters from the last run.
+    pub counters: Counters,
+}
+
+/// Runs every benchmark under every configuration, `iters` timed runs each
+/// (after one warmup run), and returns the measurements in report order.
+///
+/// # Panics
+///
+/// Panics when a benchmark fails to compile or run — the suite is part of
+/// the repository's contract, so a broken benchmark is a bug, not a datum.
+pub fn measure_suite(iters: usize) -> Vec<Measurement> {
+    assert!(iters > 0, "need at least one timed iteration");
+    let mut out = Vec::with_capacity(BENCHMARKS.len() * 3);
+    for b in BENCHMARKS {
+        for (label, cfg) in measured_configs() {
+            let compiled = Compiler::new(cfg)
+                .compile(b.source)
+                .unwrap_or_else(|e| panic!("{}/{label}: compile failed: {e}", b.name));
+            // Warmup: one untimed run (touches the heap, faults pages).
+            run_timed(&compiled).unwrap_or_else(|e| panic!("{}/{label}: {e}", b.name));
+            let mut times = Vec::with_capacity(iters);
+            let mut last = None;
+            for _ in 0..iters {
+                let (dt, outcome) =
+                    run_timed(&compiled).unwrap_or_else(|e| panic!("{}/{label}: {e}", b.name));
+                times.push(dt);
+                last = Some(outcome);
+            }
+            times.sort();
+            let outcome = last.expect("iters > 0");
+            let mean = times.iter().sum::<Duration>() / iters as u32;
+            out.push(Measurement {
+                name: b.name.to_string(),
+                config: label.to_string(),
+                median: times[times.len() / 2],
+                mean,
+                min: times[0],
+                ok: outcome.value == b.expect,
+                value: outcome.value,
+                counters: outcome.counters,
+            });
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the whole suite as the `BENCH_vm.json` document (schema
+/// `sxr-bench-vm/v1`).  Serialization is hand-rolled: the build
+/// environment is offline, so no serde.
+pub fn suite_json(iters: usize, measurements: &[Measurement]) -> String {
+    let mut rows = Vec::with_capacity(measurements.len());
+    for m in measurements {
+        rows.push(format!(
+            concat!(
+                "    {{\"name\":\"{}\",\"config\":\"{}\",",
+                "\"median_ns\":{},\"mean_ns\":{},\"min_ns\":{},",
+                "\"value\":\"{}\",\"ok\":{},\"counters\":{}}}"
+            ),
+            json_escape(&m.name),
+            json_escape(&m.config),
+            m.median.as_nanos(),
+            m.mean.as_nanos(),
+            m.min.as_nanos(),
+            json_escape(&m.value),
+            m.ok,
+            m.counters.to_json(),
+        ));
+    }
+    format!(
+        "{{\n  \"schema\": \"sxr-bench-vm/v1\",\n  \"iters\": {iters},\n  \"benchmarks\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn suite_json_shape() {
+        let m = Measurement {
+            name: "fib".into(),
+            config: "abstract-opt".into(),
+            median: Duration::from_nanos(1500),
+            mean: Duration::from_nanos(1600),
+            min: Duration::from_nanos(1400),
+            value: "17711".into(),
+            ok: true,
+            counters: Counters::default(),
+        };
+        let j = suite_json(3, &[m]);
+        assert!(j.contains("\"schema\": \"sxr-bench-vm/v1\""));
+        assert!(j.contains("\"iters\": 3"));
+        assert!(j.contains("\"median_ns\":1500"));
+        assert!(j.contains("\"ok\":true"));
+        assert!(j.contains("\"counters\":{\"total\":0"));
+    }
+}

@@ -1,7 +1,8 @@
 //! Report helpers shared by the benchmark harness (Tables 1–3, Figures
-//! 1–2) and the examples.
+//! 1–2, `bench_vm`) and the examples.
 
-use crate::{Compiled, Compiler, PipelineConfig};
+use crate::{Compiled, Compiler, Outcome, PipelineConfig, VmError};
+use std::time::{Duration, Instant};
 
 /// The primitive operations whose generated code Table 1 compares.
 pub const TABLE1_PRIMS: &[&str] = &[
@@ -41,6 +42,29 @@ pub const TABLE1_PRIMS: &[&str] = &[
 /// Propagates any [`crate::CompileError`] (the prelude must compile).
 pub fn compile_prelude_probe(config: PipelineConfig) -> Result<Compiled, crate::CompileError> {
     Compiler::new(config).compile("0")
+}
+
+/// Runs `compiled` once on a fresh machine, reporting how long the *run*
+/// took (machine construction — including instruction pre-decoding and
+/// pool building — is excluded, so the number is the interpreter's
+/// steady-state cost, which is what `BENCH_vm.json` records).
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] raised during loading or execution.
+pub fn run_timed(compiled: &Compiled) -> Result<(Duration, Outcome), VmError> {
+    let mut m = compiled.machine()?;
+    let start = Instant::now();
+    let w = m.run()?;
+    let elapsed = start.elapsed();
+    Ok((
+        elapsed,
+        Outcome {
+            value: m.describe(w),
+            output: m.output().to_string(),
+            counters: m.counters.clone(),
+        },
+    ))
 }
 
 /// One primitive's static instruction counts across the three
@@ -94,5 +118,16 @@ mod tests {
             let c = compile_prelude_probe(cfg).unwrap();
             assert!(c.static_count("car").is_some(), "car exists");
         }
+    }
+
+    #[test]
+    fn run_timed_reports_outcome_and_duration() {
+        let c = Compiler::new(PipelineConfig::abstract_optimized())
+            .compile("(display (fx+ 40 2))")
+            .unwrap();
+        let (dt, out) = run_timed(&c).unwrap();
+        assert_eq!(out.output, "42");
+        assert!(out.counters.total > 0);
+        assert!(dt > Duration::ZERO);
     }
 }

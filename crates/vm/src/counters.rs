@@ -1,7 +1,6 @@
 //! Dynamic execution counters — the measurement substrate for Tables 2–3.
 
 use crate::inst::InstClass;
-use std::collections::HashMap;
 
 /// Execution statistics. Instruction counts are deterministic (independent
 /// of heap size and GC schedule); GC work is reported separately.
@@ -9,8 +8,9 @@ use std::collections::HashMap;
 pub struct Counters {
     /// Total instructions executed.
     pub total: u64,
-    /// Breakdown by [`InstClass`].
-    pub by_class: HashMap<InstClass, u64>,
+    /// Breakdown by [`InstClass`], indexed by discriminant (the hot path
+    /// bumps a flat array; use [`Counters::class`] to read).
+    by_class: [u64; InstClass::ALL.len()],
     /// Words allocated (including headers).
     pub allocated_words: u64,
     /// Number of objects allocated.
@@ -33,12 +33,41 @@ impl Counters {
     #[inline]
     pub fn count(&mut self, class: InstClass) {
         self.total += 1;
-        *self.by_class.entry(class).or_insert(0) += 1;
+        self.by_class[class as usize] += 1;
     }
 
     /// Count of a specific class.
     pub fn class(&self, c: InstClass) -> u64 {
-        self.by_class.get(&c).copied().unwrap_or(0)
+        self.by_class[c as usize]
+    }
+
+    /// Stable machine-readable view: every counter as a `(name, value)`
+    /// pair, in a fixed order (all instruction classes appear even when
+    /// zero).  This is the schema of the `counters` object in
+    /// `BENCH_vm.json`.
+    pub fn as_pairs(&self) -> Vec<(&'static str, u64)> {
+        let mut pairs = Vec::with_capacity(6 + InstClass::ALL.len());
+        pairs.push(("total", self.total));
+        for c in InstClass::ALL {
+            pairs.push((c.label(), self.class(c)));
+        }
+        pairs.push(("allocated_words", self.allocated_words));
+        pairs.push(("allocated_objects", self.allocated_objects));
+        pairs.push(("gc_count", self.gc_count));
+        pairs.push(("gc_copied_words", self.gc_copied_words));
+        pairs.push(("calls", self.calls));
+        pairs
+    }
+
+    /// Renders the counters as one flat JSON object (no external
+    /// serialization dependency; all values are unsigned integers).
+    pub fn to_json(&self) -> String {
+        let fields: Vec<String> = self
+            .as_pairs()
+            .into_iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        format!("{{{}}}", fields.join(","))
     }
 
     /// One-line summary for reports.
@@ -59,6 +88,23 @@ impl Counters {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pairs_and_json_are_stable() {
+        let mut c = Counters::default();
+        c.count(InstClass::Call);
+        c.calls += 1;
+        c.gc_count += 2;
+        let pairs = c.as_pairs();
+        assert_eq!(pairs[0], ("total", 1));
+        assert!(pairs.contains(&("call", 1)));
+        assert!(pairs.contains(&("gc_count", 2)));
+        let json = c.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"total\":1"));
+        assert!(json.contains("\"gc_count\":2"));
+        assert!(json.contains("\"alu\":0"), "zero classes still present");
+    }
 
     #[test]
     fn counting_and_reset() {

@@ -51,7 +51,7 @@ pub fn encode_string(m: &mut Machine, s: &str) -> Result<Word, VmError> {
         .map(|c| m.registry.encode_immediate(char_rep, c as i64))
         .collect();
     let fill = m.registry.encode_immediate(char_rep, 0);
-    let w = m.alloc_object(chars.len(), string as u16, tag, fill);
+    let w = m.alloc_object(chars.len(), string as u16, tag, fill)?;
     let base = (w >> 3) as usize;
     for (i, cw) in chars.into_iter().enumerate() {
         m.heap_set_for_encode(base + 1 + i, cw)?;
@@ -115,7 +115,7 @@ pub fn encode_datum(m: &mut Machine, d: &Datum) -> Result<Word, VmError> {
                 .map(|i| encode_datum(m, i))
                 .collect::<Result<_, _>>()?;
             let fill = m.registry.encode_immediate(m.role_fixnum(), 0);
-            let w = m.alloc_object(words.len(), vec_rep as u16, tag, fill);
+            let w = m.alloc_object(words.len(), vec_rep as u16, tag, fill)?;
             let base = (w >> 3) as usize;
             for (i, iw) in words.into_iter().enumerate() {
                 m.heap_set_for_encode(base + 1 + i, iw)?;
@@ -134,7 +134,7 @@ fn encode_pair(m: &mut Machine, car: &Datum, cdr: Word) -> Result<Word, VmError>
         ));
     };
     let car_w = encode_datum(m, car)?;
-    let w = m.alloc_object(2, pair as u16, tag, cdr);
+    let w = m.alloc_object(2, pair as u16, tag, cdr)?;
     let base = (w >> 3) as usize;
     m.heap_set_for_encode(base + 1, car_w)?;
     m.heap_set_for_encode(base + 2, cdr)?;

@@ -37,6 +37,19 @@ pub fn header_type(h: Word) -> u16 {
     (h & 0xFFFF) as u16
 }
 
+/// Post-collection growth target for a heap of `capacity` words holding
+/// `used` live words that must satisfy an allocation of `need` words.
+///
+/// The target is *strictly* larger than the current capacity and at least
+/// twice the live data, so growth decisions are monotone: a heap that the
+/// policy decides to grow always gets real headroom, and a near-full heap
+/// can never be sent back to re-collect on every allocation.  (An earlier
+/// heuristic computed `(used + need + 1).next_power_of_two()`, which can be
+/// no larger than the current capacity — a silent no-op grow.)
+pub fn grow_target(used: usize, need: usize, capacity: usize) -> usize {
+    ((used + need) * 2).max(capacity * 2)
+}
+
 /// The heap: a single growable space plus an allocation cursor.
 #[derive(Debug)]
 pub struct Heap {
@@ -142,53 +155,81 @@ impl Heap {
     /// Forwards one word: if it is a pointer per `ptr_table`, copies its
     /// object into to-space (or follows an existing forwarding word) and
     /// returns the updated pointer; otherwise returns it unchanged.
-    pub fn forward(&mut self, from: &mut [Word], w: Word, ptr_table: &[bool; 8]) -> Word {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmErrorKind::BadMemoryAccess`] when a word tagged as a
+    /// pointer does not address an object inside from-space, or when the
+    /// copy would overflow to-space.  Both indicate heap corruption or a
+    /// pointer-map bug; silently continuing would mis-forward live data, so
+    /// they are hard errors in every build, not debug assertions.
+    pub fn forward(
+        &mut self,
+        from: &mut [Word],
+        w: Word,
+        ptr_table: &[bool; 8],
+    ) -> Result<Word, VmError> {
         let tag = (w & 0b111) as usize;
         if !ptr_table[tag] {
-            return w;
+            return Ok(w);
         }
         let idx = (w >> TAG_BITS) as usize;
         if idx >= from.len() {
-            // A raw word that merely looks like a pointer would be a
-            // pointer-map bug; surface loudly in debug builds.
-            debug_assert!(false, "forward of out-of-range pointer {w:#x}");
-            return w;
+            return Err(VmError::new(
+                VmErrorKind::BadMemoryAccess,
+                format!("gc: forward of out-of-range pointer {w:#x} (pointer-map bug?)"),
+            ));
         }
         let h = from[idx];
         if h < 0 {
             // Already forwarded.
             let new_idx = h & 0x7FFF_FFFF_FFFF;
-            return (new_idx << TAG_BITS) | tag as i64;
+            return Ok((new_idx << TAG_BITS) | tag as i64);
         }
         let len = header_len(h);
+        if idx + len + 1 > from.len() {
+            return Err(VmError::new(
+                VmErrorKind::BadMemoryAccess,
+                format!("gc: object at word {idx} with corrupt length {len} overruns from-space"),
+            ));
+        }
         let new_idx = self.next;
-        debug_assert!(new_idx + len < self.space.len(), "to-space overflow");
+        if new_idx + len + 1 > self.space.len() {
+            return Err(VmError::new(
+                VmErrorKind::BadMemoryAccess,
+                "gc: to-space overflow (live data exceeds capacity; heap corruption?)",
+            ));
+        }
         self.space[new_idx..new_idx + len + 1].copy_from_slice(&from[idx..idx + len + 1]);
         self.next += len + 1;
         from[idx] = i64::MIN | new_idx as i64;
-        ((new_idx as i64) << TAG_BITS) | tag as i64
+        Ok(((new_idx as i64) << TAG_BITS) | tag as i64)
     }
 
     /// Cheney scan: walks every object copied so far, forwarding its
     /// fields. `scan` is the resume point; returns the new resume point
     /// (equal to [`Heap::used`] when done).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Heap::forward`] failures.
     pub fn scan_from(
         &mut self,
         mut scan: usize,
         from: &mut [Word],
         ptr_table: &[bool; 8],
-    ) -> usize {
+    ) -> Result<usize, VmError> {
         while scan < self.next {
             let h = self.space[scan];
             let len = header_len(h);
             for i in 1..=len {
                 let w = self.space[scan + i];
-                let fwd = self.forward(from, w, ptr_table);
+                let fwd = self.forward(from, w, ptr_table)?;
                 self.space[scan + i] = fwd;
             }
             scan += len + 1;
         }
-        scan
+        Ok(scan)
     }
 }
 
@@ -231,8 +272,8 @@ mod tests {
         let a_ptr = ((a as i64) << 3) | 1;
 
         let mut from = h.begin_gc(256);
-        let new_a = h.forward(&mut from, a_ptr, &ptr_table);
-        h.scan_from(0, &mut from, &ptr_table);
+        let new_a = h.forward(&mut from, a_ptr, &ptr_table).unwrap();
+        h.scan_from(0, &mut from, &ptr_table).unwrap();
         // Only a and b survive: 3 + 3 words.
         assert_eq!(h.used(), 6);
         let a_idx = (new_a >> 3) as usize;
@@ -255,8 +296,8 @@ mod tests {
         let a_ptr = ((a as i64) << 3) | 1;
 
         let mut from = h.begin_gc(128);
-        let new_a = h.forward(&mut from, a_ptr, &ptr_table);
-        h.scan_from(0, &mut from, &ptr_table);
+        let new_a = h.forward(&mut from, a_ptr, &ptr_table).unwrap();
+        h.scan_from(0, &mut from, &ptr_table).unwrap();
         let a_idx = (new_a >> 3) as usize;
         assert_eq!(
             h.get(a_idx + 1).unwrap(),
@@ -271,7 +312,72 @@ mod tests {
         let ptr_table = [false; 8];
         let mut h = Heap::new(64);
         let mut from = h.begin_gc(64);
-        assert_eq!(h.forward(&mut from, 12345 << 3, &ptr_table), 12345 << 3);
+        assert_eq!(
+            h.forward(&mut from, 12345 << 3, &ptr_table).unwrap(),
+            12345 << 3
+        );
+    }
+
+    #[test]
+    fn forward_out_of_range_is_hard_error() {
+        let mut ptr_table = [false; 8];
+        ptr_table[1] = true;
+        let mut h = Heap::new(64);
+        let mut from = h.begin_gc(64);
+        // A "pointer" addressing far beyond from-space.
+        let bogus = (1_000_000i64 << 3) | 1;
+        let err = h.forward(&mut from, bogus, &ptr_table).unwrap_err();
+        assert_eq!(err.kind, VmErrorKind::BadMemoryAccess);
+        assert!(err.message.contains("out-of-range"));
+    }
+
+    #[test]
+    fn forward_to_space_overflow_is_hard_error() {
+        let mut ptr_table = [false; 8];
+        ptr_table[1] = true;
+        let mut h = Heap::new(64);
+        let obj = h.alloc(10, 5, 0);
+        let ptr = ((obj as i64) << 3) | 1;
+        // Begin a GC into a to-space too small to hold the object.
+        let mut from = h.begin_gc(4);
+        let err = h.forward(&mut from, ptr, &ptr_table).unwrap_err();
+        assert_eq!(err.kind, VmErrorKind::BadMemoryAccess);
+        assert!(err.message.contains("to-space overflow"));
+    }
+
+    #[test]
+    fn forward_corrupt_length_is_hard_error() {
+        let mut ptr_table = [false; 8];
+        ptr_table[1] = true;
+        let mut h = Heap::new(64);
+        let obj = h.alloc(1, 5, 0);
+        // Corrupt the header so the object claims to overrun from-space.
+        h.set(obj, header(1 << 20, 5)).unwrap();
+        let ptr = ((obj as i64) << 3) | 1;
+        let mut from = h.begin_gc(64);
+        let err = h.forward(&mut from, ptr, &ptr_table).unwrap_err();
+        assert_eq!(err.kind, VmErrorKind::BadMemoryAccess);
+        assert!(err.message.contains("corrupt length"));
+    }
+
+    #[test]
+    fn grow_target_is_monotone_and_roomy() {
+        // Strictly larger than the current capacity...
+        for cap in [64usize, 100, 4096, 5000] {
+            for (used, need) in [(0usize, 1usize), (cap / 2, 3), (cap - 1, 64)] {
+                let t = grow_target(used, need, cap);
+                assert!(t > cap, "target {t} must exceed capacity {cap}");
+                assert!(t >= 2 * used, "target {t} must be at least 2x used {used}");
+                assert!(t >= used + need, "target {t} must fit the request");
+            }
+        }
+        // ...where the old `(used + need + 1).next_power_of_two()` was not:
+        let (used, need, cap) = (4000usize, 3usize, 8192usize);
+        assert!(
+            (used + need + 1).next_power_of_two() <= cap,
+            "old target no-ops"
+        );
+        assert!(grow_target(used, need, cap) > cap);
     }
 
     #[test]

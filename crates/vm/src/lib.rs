@@ -50,6 +50,7 @@
 //! ```
 
 mod counters;
+mod decode;
 mod encode;
 mod error;
 mod heap;
@@ -59,7 +60,7 @@ mod machine;
 pub use counters::Counters;
 pub use encode::{describe as describe_word, encode_datum, words_needed};
 pub use error::{VmError, VmErrorKind};
-pub use heap::{header, header_len, header_type, Heap, Word};
+pub use heap::{grow_target, header, header_len, header_type, Heap, Word};
 pub use inst::{
     BinOp, CmpOp, CodeFun, CodeProgram, Inst, InstClass, PoolEntry, Reg, RegImm, RepVmOp,
 };

@@ -1,10 +1,17 @@
 //! The interpreter: loads a [`CodeProgram`], runs it, counts everything.
+//!
+//! The execution hot path is allocation-free: instructions are pre-decoded
+//! into the flat [`DInst`] form at load time (see [`crate::decode`]), call
+//! frames recycle their register arrays through a pool, and the instruction
+//! budget is charged before an instruction runs so budgets and counters
+//! always agree.
 
 use crate::counters::Counters;
+use crate::decode::{decode_program, ArgSpan, DInst, DecodedProgram};
 use crate::encode;
 use crate::error::{VmError, VmErrorKind};
-use crate::heap::{header_len, header_type, Heap, Word};
-use crate::inst::{BinOp, CmpOp, CodeProgram, Inst, PoolEntry, Reg, RegImm, RepVmOp};
+use crate::heap::{grow_target, header_len, header_type, Heap, Word};
+use crate::inst::{BinOp, CmpOp, CodeProgram, PoolEntry, Reg, RepVmOp};
 use std::collections::HashMap;
 use std::rc::Rc;
 use sxr_ir::rep::{roles, RepId, RepKind, RepRegistry};
@@ -26,6 +33,10 @@ impl Default for MachineConfig {
         }
     }
 }
+
+/// Upper bound on pooled register arrays; deeper recursion simply
+/// allocates, shallower call chains reuse.
+const REG_POOL_MAX: usize = 64;
 
 #[derive(Debug)]
 struct Frame {
@@ -53,6 +64,8 @@ struct RoleCache {
 #[derive(Debug)]
 pub struct Machine {
     program: Rc<CodeProgram>,
+    /// The pre-decoded hot-path form of the program.
+    decoded: DecodedProgram,
     /// The run-time representation registry (starts as the compile-time
     /// registry; extended by run-time `%make-*-type`).
     pub registry: RepRegistry,
@@ -61,6 +74,8 @@ pub struct Machine {
     pool: Vec<Word>,
     interned: HashMap<String, Word>,
     frames: Vec<Frame>,
+    /// Retired register arrays awaiting reuse (the frame pool).
+    reg_pool: Vec<Vec<Word>>,
     /// Dynamic execution counters.
     pub counters: Counters,
     output: String,
@@ -70,12 +85,14 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Loads `program` (building the constant pool on the heap).
+    /// Loads `program` (pre-decoding every function and building the
+    /// constant pool on the heap).
     ///
     /// # Errors
     ///
     /// Returns [`VmErrorKind::BadProgram`] when the program's registry lacks
-    /// a role its literals or code require.
+    /// a role its literals or code require, or when an instruction could
+    /// never execute (e.g. allocation of an immediate representation).
     pub fn new(program: CodeProgram, config: MachineConfig) -> Result<Machine, VmError> {
         let registry = program.registry.clone();
         let need_role = |name: &str| {
@@ -102,12 +119,15 @@ impl Machine {
                 ));
             }
         }
-        if !registry.info(closure).is_pointer() {
+        let RepKind::Pointer {
+            tag: closure_tag, ..
+        } = registry.info(closure).kind
+        else {
             return Err(VmError::new(
                 VmErrorKind::BadProgram,
                 "role `closure` must be a pointer representation",
             ));
-        }
+        };
         let role = RoleCache {
             fixnum,
             closure,
@@ -115,16 +135,19 @@ impl Machine {
             unspec_word: registry.encode_immediate(unspecified, 0),
             reg_init: registry.encode_immediate(fixnum, 0),
         };
+        let decoded = decode_program(&program, &registry, closure_tag, fixnum)?;
         let ptr_table = registry.pointer_pattern_table();
         let nglobals = program.nglobals;
         let mut m = Machine {
             program: Rc::new(program),
+            decoded,
             registry,
             heap: Heap::new(config.heap_words),
             globals: vec![role.unspec_word; nglobals],
             pool: Vec::new(),
             interned: HashMap::new(),
             frames: Vec::new(),
+            reg_pool: Vec::new(),
             counters: Counters::default(),
             output: String::new(),
             ptr_table,
@@ -148,7 +171,7 @@ impl Machine {
         }
         if self.heap.needs_gc(need) {
             self.heap
-                .grow_to((self.heap.used() + need + 1).next_power_of_two());
+                .grow_to(grow_target(self.heap.used(), need, self.heap.capacity()));
         }
         for e in &prog.pool {
             let w = match e {
@@ -179,6 +202,16 @@ impl Machine {
         &self.heap
     }
 
+    /// Words of heap currently in use.
+    pub fn heap_used(&self) -> usize {
+        self.heap.used()
+    }
+
+    /// Current heap capacity in words (observing the growth policy).
+    pub fn heap_capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Heap store used by the constant encoder on freshly allocated objects.
     pub(crate) fn heap_set_for_encode(&mut self, idx: usize, w: Word) -> Result<(), VmError> {
         self.heap.set(idx, w)
@@ -194,53 +227,78 @@ impl Machine {
 
     /// Allocates, collecting or growing first if needed. `fill` must be a
     /// valid tagged word.
-    pub(crate) fn alloc_object(&mut self, len: usize, type_id: u16, tag: u64, fill: Word) -> Word {
-        self.ensure_space(len + 1);
+    ///
+    /// # Errors
+    ///
+    /// Propagates collection failures (heap corruption surfaced by the
+    /// checked forwarder).
+    pub(crate) fn alloc_object(
+        &mut self,
+        len: usize,
+        type_id: u16,
+        tag: u64,
+        fill: Word,
+    ) -> Result<Word, VmError> {
+        self.ensure_space(len + 1)?;
         self.counters.allocated_words += len as u64 + 1;
         self.counters.allocated_objects += 1;
         let idx = self.heap.alloc(len, type_id, fill);
-        ((idx as i64) << 3) | tag as i64
+        Ok(((idx as i64) << 3) | tag as i64)
     }
 
-    fn ensure_space(&mut self, words: usize) {
+    fn ensure_space(&mut self, words: usize) -> Result<(), VmError> {
         if !self.heap.needs_gc(words.saturating_sub(1)) {
-            return;
+            return Ok(());
         }
-        self.collect();
+        self.collect()?;
+        // Grow when the collection left the heap tight: either the request
+        // still does not fit, or live data holds more than half of capacity
+        // (so the next collection would come almost immediately).  The
+        // target is strictly larger than the current capacity — see
+        // [`grow_target`] — which keeps the decision monotone and
+        // thrash-free under high live-data residency.
         if self.heap.needs_gc(words.saturating_sub(1))
-            || self.heap.free() < self.heap.capacity() / 4
+            || self.heap.used() * 2 > self.heap.capacity()
         {
-            let target = ((self.heap.used() + words) * 2).max(self.heap.capacity() * 2);
+            let target = grow_target(self.heap.used(), words, self.heap.capacity());
             self.heap.grow_to(target);
         }
+        Ok(())
     }
 
     /// Runs a full two-space collection.
-    pub fn collect(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmErrorKind::BadMemoryAccess`] when the forwarder detects
+    /// heap corruption (out-of-range pointers, to-space overflow) instead
+    /// of silently mis-forwarding in release builds.
+    pub fn collect(&mut self) -> Result<(), VmError> {
         self.counters.gc_count += 1;
         let cap = self.heap.capacity();
         let mut from = self.heap.begin_gc(cap);
         let pt = self.ptr_table;
         for w in self.globals.iter_mut() {
-            *w = self.heap.forward(&mut from, *w, &pt);
+            *w = self.heap.forward(&mut from, *w, &pt)?;
         }
         for w in self.pool.iter_mut() {
-            *w = self.heap.forward(&mut from, *w, &pt);
+            *w = self.heap.forward(&mut from, *w, &pt)?;
         }
         let prog = self.program.clone();
         for f in self.frames.iter_mut() {
             let map = &prog.funs[f.fnid as usize].ptr_map;
             for (r, w) in f.regs.iter_mut().enumerate() {
                 if map.get(r).copied().unwrap_or(true) {
-                    *w = self.heap.forward(&mut from, *w, &pt);
+                    *w = self.heap.forward(&mut from, *w, &pt)?;
                 }
             }
         }
         for w in self.interned.values_mut() {
-            *w = self.heap.forward(&mut from, *w, &pt);
+            *w = self.heap.forward(&mut from, *w, &pt)?;
         }
-        self.heap.scan_from(0, &mut from, &pt);
+        self.heap.scan_from(0, &mut from, &pt)?;
         self.counters.gc_copied_words += self.heap.used() as u64;
+        Ok(())
     }
 
     fn r(&self, reg: Reg) -> Word {
@@ -251,34 +309,63 @@ impl Machine {
         self.frames.last_mut().expect("active frame").regs[reg as usize] = w;
     }
 
-    fn new_frame(
-        &self,
-        fnid: u32,
-        clo: Word,
-        args: &[Word],
-        ret_dst: Reg,
-    ) -> Result<Frame, VmError> {
-        let fun = &self.program.funs[fnid as usize];
-        if fun.arity != args.len() {
+    /// The operand at position `i` of an arena span.
+    fn arg(&self, span: ArgSpan, i: usize) -> Reg {
+        self.decoded.args[span.off as usize + i]
+    }
+
+    /// Takes a register array from the pool (or allocates one), fully
+    /// initialized to the library's register-init word so no values bleed
+    /// through from the frame that previously used it.
+    fn take_regs(&mut self, nregs: usize) -> Vec<Word> {
+        let mut regs = self.reg_pool.pop().unwrap_or_default();
+        regs.clear();
+        regs.resize(nregs, self.role.reg_init);
+        regs
+    }
+
+    fn recycle_regs(&mut self, regs: Vec<Word>) {
+        if self.reg_pool.len() < REG_POOL_MAX {
+            self.reg_pool.push(regs);
+        }
+    }
+
+    /// Builds the entry frame for `main`.
+    fn main_frame(&mut self) -> Result<Frame, VmError> {
+        let fnid = self.program.main;
+        let fun = &self.decoded.funs[fnid as usize];
+        if fun.arity != 0 {
             return Err(VmError::new(
                 VmErrorKind::ArityMismatch,
                 format!(
-                    "`{}` takes {} arguments, got {}",
-                    fun.name,
-                    fun.arity,
-                    args.len()
+                    "`{}` takes {} arguments, got 0",
+                    self.program.funs[fnid as usize].name, fun.arity
                 ),
             ));
         }
-        let mut regs = vec![self.role.reg_init; fun.nregs];
-        regs[0] = clo;
-        regs[1..1 + args.len()].copy_from_slice(args);
+        let nregs = fun.nregs;
+        let mut regs = self.take_regs(nregs);
+        regs[0] = self.role.unspec_word;
         Ok(Frame {
             fnid,
             pc: 0,
             regs,
-            ret_dst,
+            ret_dst: 0,
         })
+    }
+
+    fn arity_error(&self, fnid: u32, at_least: bool, got: usize) -> VmError {
+        let fun = &self.program.funs[fnid as usize];
+        VmError::new(
+            VmErrorKind::ArityMismatch,
+            format!(
+                "`{}` takes {}{} arguments, got {}",
+                fun.name,
+                if at_least { "at least " } else { "" },
+                fun.arity,
+                got
+            ),
+        )
     }
 
     /// Builds a callee frame reading the closure and arguments from the
@@ -290,27 +377,20 @@ impl Machine {
         &mut self,
         fnid: u32,
         clo_reg: Reg,
-        arg_regs: &[Reg],
+        arg_span: ArgSpan,
         ret_dst: Reg,
     ) -> Result<Frame, VmError> {
-        let prog = self.program.clone();
-        let fun = &prog.funs[fnid as usize];
-        if !fun.variadic {
-            if fun.arity != arg_regs.len() {
-                return Err(VmError::new(
-                    VmErrorKind::ArityMismatch,
-                    format!(
-                        "`{}` takes {} arguments, got {}",
-                        fun.name,
-                        fun.arity,
-                        arg_regs.len()
-                    ),
-                ));
+        let fun = &self.decoded.funs[fnid as usize];
+        let (arity, variadic, nregs) = (fun.arity, fun.variadic, fun.nregs);
+        let nargs = arg_span.len as usize;
+        if !variadic {
+            if arity != nargs {
+                return Err(self.arity_error(fnid, false, nargs));
             }
-            let mut regs = vec![self.role.reg_init; fun.nregs];
+            let mut regs = self.take_regs(nregs);
             regs[0] = self.r(clo_reg);
-            for (i, a) in arg_regs.iter().enumerate() {
-                regs[1 + i] = self.r(*a);
+            for i in 0..nargs {
+                regs[1 + i] = self.r(self.arg(arg_span, i));
             }
             return Ok(Frame {
                 fnid,
@@ -319,18 +399,10 @@ impl Machine {
                 ret_dst,
             });
         }
-        if arg_regs.len() < fun.arity {
-            return Err(VmError::new(
-                VmErrorKind::ArityMismatch,
-                format!(
-                    "`{}` takes at least {} arguments, got {}",
-                    fun.name,
-                    fun.arity,
-                    arg_regs.len()
-                ),
-            ));
+        if nargs < arity {
+            return Err(self.arity_error(fnid, true, nargs));
         }
-        let extras = arg_regs.len() - fun.arity;
+        let extras = nargs - arity;
         let pair = self
             .registry
             .role(sxr_ir::rep::roles::PAIR)
@@ -356,21 +428,21 @@ impl Machine {
             ));
         };
         // Reserve everything up front; reads below see post-GC registers.
-        self.ensure_space(3 * extras + 1);
-        let mut regs = vec![self.role.reg_init; fun.nregs];
+        self.ensure_space(3 * extras + 1)?;
+        let mut regs = self.take_regs(nregs);
         regs[0] = self.r(clo_reg);
-        for (i, a) in arg_regs.iter().take(fun.arity).enumerate() {
-            regs[1 + i] = self.r(*a);
+        for i in 0..arity {
+            regs[1 + i] = self.r(self.arg(arg_span, i));
         }
         let mut rest = self.registry.encode_immediate(null, 0);
-        for a in arg_regs.iter().skip(fun.arity).rev() {
-            let car = self.r(*a);
-            let p = self.alloc_object(2, pair as u16, pair_tag, rest);
+        for i in (arity..nargs).rev() {
+            let car = self.r(self.arg(arg_span, i));
+            let p = self.alloc_object(2, pair as u16, pair_tag, rest)?;
             let base = (p >> 3) as usize;
             self.heap.set(base + 1, car)?;
             rest = p;
         }
-        regs[1 + fun.arity] = rest;
+        regs[1 + arity] = rest;
         Ok(Frame {
             fnid,
             pc: 0,
@@ -397,28 +469,32 @@ impl Machine {
     ///
     /// Any [`VmError`] raised during execution.
     pub fn run(&mut self) -> Result<Word, VmError> {
-        let prog = self.program.clone();
-        let main = self.new_frame(prog.main, self.role.unspec_word, &[], 0)?;
+        let main = self.main_frame()?;
         self.frames.push(main);
         let mut result = self.role.unspec_word;
 
-        while let Some(top) = self.frames.last_mut() {
-            let fun = &prog.funs[top.fnid as usize];
-            let inst = match fun.insts.get(top.pc) {
-                Some(i) => i,
+        loop {
+            let (fi, pc) = {
+                let Some(top) = self.frames.last_mut() else {
+                    break;
+                };
+                let fi = top.fnid as usize;
+                let pc = top.pc;
+                top.pc += 1;
+                (fi, pc)
+            };
+            let inst = match self.decoded.funs[fi].insts.get(pc) {
+                Some(&i) => i,
                 None => {
                     return Err(VmError::new(
                         VmErrorKind::BadProgram,
-                        format!("fell off the end of `{}`", fun.name),
+                        format!("fell off the end of `{}`", self.program.funs[fi].name),
                     ))
                 }
             };
-            top.pc += 1;
-            if matches!(inst, Inst::ResetCounters) {
-                self.counters.reset();
-                continue;
-            }
-            self.counters.count(inst.class());
+            // The budget is charged before an instruction does anything —
+            // including `ResetCounters` — so a limit of N admits exactly N
+            // instructions and the counters never record a timed-out one.
             if let Some(rem) = self.remaining.as_mut() {
                 if *rem == 0 {
                     return Err(VmError::new(
@@ -428,194 +504,185 @@ impl Machine {
                 }
                 *rem -= 1;
             }
+            if matches!(inst, DInst::ResetCounters) {
+                self.counters.reset();
+                continue;
+            }
+            self.counters.count(inst.class());
             match inst {
-                Inst::Const { d, imm } => {
-                    let (d, imm) = (*d, *imm);
+                DInst::Const { d, imm } => {
                     self.set_r(d, imm);
                 }
-                Inst::Pool { d, idx } => {
-                    let (d, idx) = (*d, *idx as usize);
-                    let w = self.pool[idx];
+                DInst::Pool { d, idx } => {
+                    let w = self.pool[idx as usize];
                     self.set_r(d, w);
                 }
-                Inst::Move { d, s } => {
-                    let w = self.r(*s);
-                    self.set_r(*d, w);
+                DInst::Move { d, s } => {
+                    let w = self.r(s);
+                    self.set_r(d, w);
                 }
-                Inst::Bin { op, d, a, b } => {
-                    let (op, d) = (*op, *d);
-                    let (a, b) = (self.r(*a), self.r(*b));
+                DInst::Bin { op, d, a, b } => {
+                    let (a, b) = (self.r(a), self.r(b));
                     let v = self.binop(op, a, b)?;
                     self.set_r(d, v);
                 }
-                Inst::BinI { op, d, a, imm } => {
-                    let (op, d, imm) = (*op, *d, *imm as i64);
-                    let a = self.r(*a);
+                DInst::BinI { op, d, a, imm } => {
+                    let a = self.r(a);
                     let v = self.binop(op, a, imm)?;
                     self.set_r(d, v);
                 }
-                Inst::LoadD { d, p, disp } => {
-                    let (d, disp) = (*d, *disp as i64);
-                    let addr = self.r(*p).wrapping_add(disp);
+                DInst::LoadD { d, p, disp } => {
+                    let addr = self.r(p).wrapping_add(disp);
                     let w = self.heap.get((addr >> 3) as usize)?;
                     self.set_r(d, w);
                 }
-                Inst::LoadX { d, p, x, disp } => {
-                    let (d, disp) = (*d, *disp as i64);
-                    let addr = self.r(*p).wrapping_add(self.r(*x)).wrapping_add(disp);
+                DInst::LoadX { d, p, x, disp } => {
+                    let addr = self.r(p).wrapping_add(self.r(x)).wrapping_add(disp);
                     let w = self.heap.get((addr >> 3) as usize)?;
                     self.set_r(d, w);
                 }
-                Inst::StoreD { p, disp, s } => {
-                    let disp = *disp as i64;
-                    let addr = self.r(*p).wrapping_add(disp);
-                    let w = self.r(*s);
+                DInst::StoreD { p, disp, s } => {
+                    let addr = self.r(p).wrapping_add(disp);
+                    let w = self.r(s);
                     self.heap.set((addr >> 3) as usize, w)?;
                 }
-                Inst::StoreX { p, x, disp, s } => {
-                    let disp = *disp as i64;
-                    let addr = self.r(*p).wrapping_add(self.r(*x)).wrapping_add(disp);
-                    let w = self.r(*s);
+                DInst::StoreX { p, x, disp, s } => {
+                    let addr = self.r(p).wrapping_add(self.r(x)).wrapping_add(disp);
+                    let w = self.r(s);
                     self.heap.set((addr >> 3) as usize, w)?;
                 }
-                Inst::AllocFill { d, len, fill, rep } => {
-                    let (d, fill_reg, rep) = (*d, *fill, *rep);
-                    let len = match len {
-                        RegImm::Imm(n) => *n as i64,
-                        RegImm::Reg(r) => self.r(*r),
-                    };
+                DInst::AllocImm {
+                    d,
+                    len,
+                    fill,
+                    rep,
+                    tag,
+                } => {
+                    let len = len as usize;
+                    self.ensure_space(len + 1)?;
+                    let fill = self.r(fill); // after possible GC
+                    let w = self.alloc_object(len, rep, tag, fill)?;
+                    self.set_r(d, w);
+                }
+                DInst::AllocReg {
+                    d,
+                    len,
+                    fill,
+                    rep,
+                    tag,
+                } => {
+                    let len = self.r(len);
                     if !(0..=(1 << 40)).contains(&len) {
                         return Err(VmError::new(
                             VmErrorKind::BadRepOperation,
                             format!("allocation of {len} fields"),
                         ));
                     }
-                    let info = self.registry.info(rep);
-                    let RepKind::Pointer { tag, .. } = info.kind else {
-                        return Err(VmError::new(
-                            VmErrorKind::BadProgram,
-                            "alloc of immediate representation",
-                        ));
-                    };
-                    self.ensure_space(len as usize + 1);
-                    let fill = self.r(fill_reg); // after possible GC
-                    let w = self.alloc_object(len as usize, rep as u16, tag, fill);
+                    let len = len as usize;
+                    self.ensure_space(len + 1)?;
+                    let fill = self.r(fill); // after possible GC
+                    let w = self.alloc_object(len, rep, tag, fill)?;
                     self.set_r(d, w);
                 }
-                Inst::Jump { t } => {
-                    let t = *t as usize;
-                    self.frames.last_mut().expect("frame").pc = t;
+                DInst::Jump { t } => {
+                    self.frames.last_mut().expect("frame").pc = t as usize;
                 }
-                Inst::JumpCmp { op, a, b, t } => {
-                    let (op, t) = (*op, *t as usize);
-                    let a = self.r(*a);
-                    let b = match b {
-                        RegImm::Imm(i) => *i as i64,
-                        RegImm::Reg(r) => self.r(*r),
-                    };
-                    let taken = match op {
-                        CmpOp::Eq => a == b,
-                        CmpOp::Ne => a != b,
-                        CmpOp::Lt => a < b,
-                        CmpOp::Ge => a >= b,
-                    };
-                    if taken {
-                        self.frames.last_mut().expect("frame").pc = t;
+                DInst::JumpCmpRR { op, a, b, t } => {
+                    let (a, b) = (self.r(a), self.r(b));
+                    if cmp_taken(op, a, b) {
+                        self.frames.last_mut().expect("frame").pc = t as usize;
                     }
                 }
-                Inst::GlobalGet { d, g } => {
-                    let (d, g) = (*d, *g as usize);
-                    let w = self.globals[g];
+                DInst::JumpCmpRI { op, a, imm, t } => {
+                    let a = self.r(a);
+                    if cmp_taken(op, a, imm) {
+                        self.frames.last_mut().expect("frame").pc = t as usize;
+                    }
+                }
+                DInst::GlobalGet { d, g } => {
+                    let w = self.globals[g as usize];
                     self.set_r(d, w);
                 }
-                Inst::GlobalSet { g, s } => {
-                    let g = *g as usize;
-                    let w = self.r(*s);
-                    self.globals[g] = w;
+                DInst::GlobalSet { g, s } => {
+                    let w = self.r(s);
+                    self.globals[g as usize] = w;
                 }
-                Inst::MakeClosure { d, f, free } => {
-                    let (d, f) = (*d, *f);
-                    let n = free.len();
-                    self.ensure_space(n + 2);
-                    let info = self.registry.info(self.role.closure);
-                    let RepKind::Pointer { tag, .. } = info.kind else {
-                        unreachable!()
-                    };
-                    let code = self.registry.encode_immediate(self.role.fixnum, f as i64);
-                    let w = self.alloc_object(n + 1, self.role.closure as u16, tag, code);
+                DInst::MakeClosure { d, free, tag, code } => {
+                    let n = free.len as usize;
+                    self.ensure_space(n + 2)?;
+                    let w = self.alloc_object(n + 1, self.role.closure as u16, tag, code)?;
                     let base = (w >> 3) as usize;
-                    for (i, fr) in free.iter().enumerate() {
-                        let v = self.r(*fr);
+                    for i in 0..n {
+                        let v = self.r(self.arg(free, i));
                         self.heap.set(base + 2 + i, v)?;
                     }
                     self.set_r(d, w);
                 }
-                Inst::ClosureSet { clo, idx, val } => {
-                    let idx = *idx as usize;
-                    let base = (self.r(*clo) >> 3) as usize;
-                    let v = self.r(*val);
-                    self.heap.set(base + 2 + idx, v)?;
+                DInst::ClosureSet { clo, idx, val } => {
+                    let base = (self.r(clo) >> 3) as usize;
+                    let v = self.r(val);
+                    self.heap.set(base + 2 + idx as usize, v)?;
                 }
-                Inst::Call { d, f, args } => {
-                    let fnid = self.closure_target(self.r(*f))?;
+                DInst::Call { d, f, args } => {
+                    let fnid = self.closure_target(self.r(f))?;
                     self.counters.calls += 1;
-                    let frame = self.build_frame(fnid, *f, args, *d)?;
+                    let frame = self.build_frame(fnid, f, args, d)?;
                     self.frames.push(frame);
                 }
-                Inst::CallKnown { d, f, clo, args } => {
+                DInst::CallKnown { d, f, clo, args } => {
                     self.counters.calls += 1;
-                    let frame = self.build_frame(*f, *clo, args, *d)?;
+                    let frame = self.build_frame(f, clo, args, d)?;
                     self.frames.push(frame);
                 }
-                Inst::TailCall { f, args } => {
-                    let fnid = self.closure_target(self.r(*f))?;
+                DInst::TailCall { f, args } => {
+                    let fnid = self.closure_target(self.r(f))?;
                     self.counters.calls += 1;
                     let ret_dst = self.frames.last().expect("frame").ret_dst;
-                    let frame = self.build_frame(fnid, *f, args, ret_dst)?;
-                    *self.frames.last_mut().expect("frame") = frame;
+                    let frame = self.build_frame(fnid, f, args, ret_dst)?;
+                    let old = std::mem::replace(self.frames.last_mut().expect("frame"), frame);
+                    self.recycle_regs(old.regs);
                 }
-                Inst::TailCallKnown { f, clo, args } => {
+                DInst::TailCallKnown { f, clo, args } => {
                     self.counters.calls += 1;
                     let ret_dst = self.frames.last().expect("frame").ret_dst;
-                    let frame = self.build_frame(*f, *clo, args, ret_dst)?;
-                    *self.frames.last_mut().expect("frame") = frame;
+                    let frame = self.build_frame(f, clo, args, ret_dst)?;
+                    let old = std::mem::replace(self.frames.last_mut().expect("frame"), frame);
+                    self.recycle_regs(old.regs);
                 }
-                Inst::Ret { s } => {
-                    let v = self.r(*s);
+                DInst::Ret { s } => {
+                    let v = self.r(s);
                     let frame = self.frames.pop().expect("frame");
                     match self.frames.last_mut() {
                         Some(caller) => caller.regs[frame.ret_dst as usize] = v,
                         None => result = v,
                     }
+                    self.recycle_regs(frame.regs);
                 }
-                Inst::Rep { op, d, args } => {
-                    let (op, d) = (*op, *d);
-                    let regs: Vec<Reg> = args.clone();
-                    let v = self.rep_generic(op, &regs)?;
+                DInst::Rep { op, d, args } => {
+                    let v = self.rep_generic(op, args)?;
                     self.set_r(d, v);
                 }
-                Inst::Intern { d, s } => {
-                    let d = *d;
-                    let sval = self.r(*s);
+                DInst::Intern { d, s } => {
+                    let sval = self.r(s);
                     let sym = self.intern_value(sval)?;
                     self.set_r(d, sym);
                 }
-                Inst::WriteChar { s } => {
-                    let w = self.r(*s);
+                DInst::WriteChar { s } => {
+                    let w = self.r(s);
                     let char_rep = self.registry.role(roles::CHAR).ok_or_else(|| {
                         VmError::new(VmErrorKind::BadProgram, "no `char` representation role")
                     })?;
                     let code = self.registry.decode_immediate(char_rep, w) as u32;
                     self.output.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
                 }
-                Inst::ErrorOp { s } => {
-                    let w = self.r(*s);
+                DInst::ErrorOp { s } => {
+                    let w = self.r(s);
                     return Err(VmError::new(
                         VmErrorKind::SchemeError,
                         format!("error: {}", self.describe(w)),
                     ));
                 }
-                Inst::ResetCounters => unreachable!("handled before counting"),
+                DInst::ResetCounters => unreachable!("handled before counting"),
             }
         }
         Ok(result)
@@ -663,7 +730,7 @@ impl Machine {
             ));
         };
         let payload = self.registry.encode_immediate(self.role.fixnum, rid as i64);
-        let w = self.alloc_object(1, reptype as u16, tag, payload);
+        let w = self.alloc_object(1, reptype as u16, tag, payload)?;
         Ok(w)
     }
 
@@ -759,18 +826,18 @@ impl Machine {
         // afterwards via the interned name (we copy the name into the new
         // string below to stay simple and GC-safe).
         let fresh = encode::encode_string(self, &name)?;
-        let w = self.alloc_object(1, symrep as u16, tag, fresh);
+        let w = self.alloc_object(1, symrep as u16, tag, fresh)?;
         self.interned.insert(name, w);
         Ok(w)
     }
 
-    fn rep_generic(&mut self, op: RepVmOp, args: &[Reg]) -> Result<Word, VmError> {
+    fn rep_generic(&mut self, op: RepVmOp, span: ArgSpan) -> Result<Word, VmError> {
         match op {
             RepVmOp::MakeImm => {
-                let name = self.symbol_name(self.r(args[0]))?;
-                let tag_bits = self.fixnum_arg(self.r(args[1]), "tag-bits")? as u32;
-                let tag = self.fixnum_arg(self.r(args[2]), "tag")? as u64;
-                let shift = self.fixnum_arg(self.r(args[3]), "shift")? as u32;
+                let name = self.symbol_name(self.r(self.arg(span, 0)))?;
+                let tag_bits = self.fixnum_arg(self.r(self.arg(span, 1)), "tag-bits")? as u32;
+                let tag = self.fixnum_arg(self.r(self.arg(span, 2)), "tag")? as u64;
+                let shift = self.fixnum_arg(self.r(self.arg(span, 3)), "shift")? as u32;
                 let rid = self
                     .registry
                     .intern_immediate(&name, tag_bits, tag, shift)
@@ -778,9 +845,9 @@ impl Machine {
                 self.make_rep_object(rid)
             }
             RepVmOp::MakePtr => {
-                let name = self.symbol_name(self.r(args[0]))?;
-                let tag = self.fixnum_arg(self.r(args[1]), "tag")? as u64;
-                let discriminated = self.r(args[2]) != self.role.false_word;
+                let name = self.symbol_name(self.r(self.arg(span, 0)))?;
+                let tag = self.fixnum_arg(self.r(self.arg(span, 1)), "tag")? as u64;
+                let discriminated = self.r(self.arg(span, 2)) != self.role.false_word;
                 let rid = self
                     .registry
                     .intern_pointer(&name, tag, discriminated)
@@ -789,32 +856,32 @@ impl Machine {
                 self.make_rep_object(rid)
             }
             RepVmOp::Provide => {
-                let role = self.symbol_name(self.r(args[0]))?;
-                let rid = self.rep_id_of(self.r(args[1]))?;
+                let role = self.symbol_name(self.r(self.arg(span, 0)))?;
+                let rid = self.rep_id_of(self.r(self.arg(span, 1)))?;
                 self.registry
                     .provide_role(&role, rid)
                     .map_err(|e| VmError::new(VmErrorKind::BadRepOperation, e.0))?;
                 Ok(self.role.unspec_word)
             }
             RepVmOp::Inject => {
-                let rid = self.rep_id_of(self.r(args[0]))?;
-                let w = self.r(args[1]);
+                let rid = self.rep_id_of(self.r(self.arg(span, 0)))?;
+                let w = self.r(self.arg(span, 1));
                 Ok(match self.registry.info(rid).kind {
                     RepKind::Immediate { tag, shift, .. } => (w << shift) | tag as i64,
                     RepKind::Pointer { tag, .. } => w | tag as i64,
                 })
             }
             RepVmOp::Project => {
-                let rid = self.rep_id_of(self.r(args[0]))?;
-                let w = self.r(args[1]);
+                let rid = self.rep_id_of(self.r(self.arg(span, 0)))?;
+                let w = self.r(self.arg(span, 1));
                 Ok(match self.registry.info(rid).kind {
                     RepKind::Immediate { shift, .. } => w >> shift,
                     RepKind::Pointer { .. } => w & !0b111,
                 })
             }
             RepVmOp::Test => {
-                let rid = self.rep_id_of(self.r(args[0]))?;
-                let w = self.r(args[1]);
+                let rid = self.rep_id_of(self.r(self.arg(span, 0)))?;
+                let w = self.r(self.arg(span, 1));
                 let info = self.registry.info(rid);
                 let mut ok = self.registry.tag_matches(rid, w);
                 if ok {
@@ -830,28 +897,28 @@ impl Machine {
                 Ok(ok as i64)
             }
             RepVmOp::Alloc => {
-                let n = self.r(args[1]);
+                let n = self.r(self.arg(span, 1));
                 if !(0..=(1 << 40)).contains(&n) {
                     return Err(VmError::new(
                         VmErrorKind::BadRepOperation,
                         format!("rep-alloc of {n} fields"),
                     ));
                 }
-                self.ensure_space(n as usize + 1);
+                self.ensure_space(n as usize + 1)?;
                 // Re-read after potential GC.
-                let rid = self.rep_id_of(self.r(args[0]))?;
-                let fill = self.r(args[2]);
+                let rid = self.rep_id_of(self.r(self.arg(span, 0)))?;
+                let fill = self.r(self.arg(span, 2));
                 let RepKind::Pointer { tag, .. } = self.registry.info(rid).kind else {
                     return Err(VmError::new(
                         VmErrorKind::BadRepOperation,
                         "rep-alloc of an immediate representation",
                     ));
                 };
-                Ok(self.alloc_object(n as usize, rid as u16, tag, fill))
+                self.alloc_object(n as usize, rid as u16, tag, fill)
             }
             RepVmOp::Ref | RepVmOp::Set | RepVmOp::Len => {
-                let rid = self.rep_id_of(self.r(args[0]))?;
-                let v = self.r(args[1]);
+                let rid = self.rep_id_of(self.r(self.arg(span, 0)))?;
+                let v = self.r(self.arg(span, 1));
                 if !self.registry.tag_matches(rid, v) {
                     return Err(VmError::new(
                         VmErrorKind::BadRepOperation,
@@ -867,7 +934,7 @@ impl Machine {
                 match op {
                     RepVmOp::Len => Ok(len as i64),
                     _ => {
-                        let i = self.r(args[2]);
+                        let i = self.r(self.arg(span, 2));
                         if !(0..len as i64).contains(&i) {
                             return Err(VmError::new(
                                 VmErrorKind::BadRepOperation,
@@ -877,7 +944,7 @@ impl Machine {
                         match op {
                             RepVmOp::Ref => self.heap.get(base + 1 + i as usize),
                             RepVmOp::Set => {
-                                let x = self.r(args[3]);
+                                let x = self.r(self.arg(span, 3));
                                 self.heap.set(base + 1 + i as usize, x)?;
                                 Ok(self.role.unspec_word)
                             }
@@ -887,5 +954,16 @@ impl Machine {
                 }
             }
         }
+    }
+}
+
+/// Whether a fused compare-and-branch is taken.
+#[inline]
+fn cmp_taken(op: CmpOp, a: Word, b: Word) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Ge => a >= b,
     }
 }

@@ -818,6 +818,365 @@ fn variadic_too_few_args_is_arity_error() {
 }
 
 #[test]
+fn frame_pool_no_register_bleed() {
+    // `leak` writes a secret into a high register and returns; `probe` has
+    // the same register count and returns a register it never wrote.  With
+    // frame recycling the probe's registers come from the pool that just
+    // held the secret — they must read as the library's register-init word
+    // (fixnum 0), not as the previous frame's contents.
+    let r = classic_registry();
+    let enc = |n: i64| r.reg.encode_immediate(r.fx, n);
+    let leak = fun(
+        "leak",
+        0,
+        8,
+        vec![
+            Inst::Const {
+                d: 7,
+                imm: enc(123),
+            },
+            Inst::Ret { s: 7 },
+        ],
+    );
+    let probe = fun("probe", 0, 8, vec![Inst::Ret { s: 7 }]);
+    let main = fun(
+        "main",
+        0,
+        5,
+        vec![
+            Inst::MakeClosure {
+                d: 1,
+                f: 1,
+                free: vec![],
+            },
+            Inst::MakeClosure {
+                d: 2,
+                f: 2,
+                free: vec![],
+            },
+            Inst::Call {
+                d: 3,
+                f: 1,
+                args: vec![],
+            },
+            Inst::Call {
+                d: 4,
+                f: 2,
+                args: vec![],
+            },
+            Inst::Ret { s: 4 },
+        ],
+    );
+    let prog = CodeProgram {
+        funs: vec![main, leak, probe],
+        main: 0,
+        pool: vec![],
+        nglobals: 0,
+        global_names: vec![],
+        registry: r.reg,
+    };
+    let (s, m) = run_program(prog);
+    assert_eq!(s, "0", "recycled frame must not leak the previous contents");
+    assert_eq!(m.counters.calls, 2);
+}
+
+#[test]
+fn timeout_at_exact_budget() {
+    // Three instructions run to completion under a budget of exactly 3...
+    let r = classic_registry();
+    let enc = |n: i64| r.reg.encode_immediate(r.fx, n);
+    let insts = vec![
+        Inst::Const { d: 1, imm: enc(1) },
+        Inst::Const { d: 1, imm: enc(2) },
+        Inst::Ret { s: 1 },
+    ];
+    let prog = one_fun_program(r.reg, fun("main", 0, 2, insts.clone()), vec![]);
+    let mut m = Machine::new(
+        prog,
+        MachineConfig {
+            heap_words: 1 << 12,
+            instruction_limit: Some(3),
+        },
+    )
+    .unwrap();
+    let w = m.run().unwrap();
+    assert_eq!(m.describe(w), "2");
+    assert_eq!(m.counters.total, 3, "budget and counters agree");
+
+    // ...and time out under a budget of 2, without counting the
+    // instruction that was refused.
+    let r = classic_registry();
+    let prog = one_fun_program(r.reg, fun("main", 0, 2, insts), vec![]);
+    let mut m = Machine::new(
+        prog,
+        MachineConfig {
+            heap_words: 1 << 12,
+            instruction_limit: Some(2),
+        },
+    )
+    .unwrap();
+    assert_eq!(m.run().unwrap_err().kind, VmErrorKind::Timeout);
+    assert_eq!(m.counters.total, 2, "timed-out instruction is not counted");
+}
+
+#[test]
+fn reset_counters_consumes_budget() {
+    // `ResetCounters` is not *counted*, but it still costs one unit of the
+    // instruction budget, so budgets cannot be evaded by resetting.
+    let r = classic_registry();
+    let enc = |n: i64| r.reg.encode_immediate(r.fx, n);
+    let insts = vec![
+        Inst::ResetCounters,
+        Inst::Const { d: 1, imm: enc(7) },
+        Inst::Ret { s: 1 },
+    ];
+    let prog = one_fun_program(r.reg, fun("main", 0, 2, insts.clone()), vec![]);
+    let mut m = Machine::new(
+        prog,
+        MachineConfig {
+            heap_words: 1 << 12,
+            instruction_limit: Some(3),
+        },
+    )
+    .unwrap();
+    let w = m.run().unwrap();
+    assert_eq!(m.describe(w), "7");
+    assert_eq!(m.counters.total, 2, "reset excluded from counts");
+
+    let r = classic_registry();
+    let prog = one_fun_program(r.reg, fun("main", 0, 2, insts), vec![]);
+    let mut m = Machine::new(
+        prog,
+        MachineConfig {
+            heap_words: 1 << 12,
+            instruction_limit: Some(2),
+        },
+    )
+    .unwrap();
+    assert_eq!(m.run().unwrap_err().kind, VmErrorKind::Timeout);
+}
+
+/// Regression test for the GC growth policy: with more than half the heap
+/// occupied by live data, every collection recovers only a sliver, so the
+/// heap must *grow* rather than re-collect on (nearly) every allocation.
+/// Under the old heuristic (grow only when the request still does not fit
+/// or free < capacity/4) this program performed ~100 collections and the
+/// heap never grew; the monotone policy doubles the heap on the first
+/// tight collection.
+#[test]
+fn gc_grow_policy_does_not_thrash_at_high_residency() {
+    let r = classic_registry();
+    let enc = |n: i64| r.reg.encode_immediate(r.fx, n);
+    let nil = r.reg.encode_immediate(r.reg.role("null").unwrap(), 0);
+    // 867 live pairs = 2601 words: > half of the 4096-word heap.
+    let mut main = fun(
+        "main",
+        0,
+        7,
+        vec![
+            Inst::Const { d: 1, imm: nil },
+            Inst::Const { d: 2, imm: 867 }, // raw counter
+            // L2: build the live chain (fill = current head, so every cell
+            // stays reachable from r1).
+            Inst::JumpCmp {
+                op: CmpOp::Eq,
+                a: 2,
+                b: RegImm::Imm(0),
+                t: 7,
+            },
+            Inst::AllocFill {
+                d: 3,
+                len: RegImm::Imm(2),
+                fill: 1,
+                rep: 5,
+            },
+            Inst::Move { d: 1, s: 3 },
+            Inst::BinI {
+                op: BinOp::Sub,
+                d: 2,
+                a: 2,
+                imm: 1,
+            },
+            Inst::Jump { t: 2 },
+            // L7: churn garbage while the live chain pins >50% residency.
+            Inst::Const { d: 4, imm: 50_000 }, // raw counter
+            Inst::JumpCmp {
+                op: CmpOp::Eq,
+                a: 4,
+                b: RegImm::Imm(0),
+                t: 12,
+            },
+            Inst::AllocFill {
+                d: 5,
+                len: RegImm::Imm(2),
+                fill: 1,
+                rep: 5,
+            },
+            Inst::BinI {
+                op: BinOp::Sub,
+                d: 4,
+                a: 4,
+                imm: 1,
+            },
+            Inst::Jump { t: 8 },
+            // L12: done.
+            Inst::Const { d: 6, imm: enc(99) },
+            Inst::Ret { s: 6 },
+        ],
+    );
+    main.ptr_map[2] = false;
+    main.ptr_map[4] = false;
+    let prog = CodeProgram {
+        funs: vec![main],
+        main: 0,
+        pool: vec![],
+        nglobals: 0,
+        global_names: vec![],
+        registry: r.reg,
+    };
+    let mut m = Machine::new(
+        prog,
+        MachineConfig {
+            heap_words: 4096,
+            instruction_limit: None,
+        },
+    )
+    .unwrap();
+    let w = m.run().unwrap();
+    assert_eq!(m.describe(w), "99");
+    assert!(
+        m.heap_capacity() > 4096,
+        "high-residency heap must grow, stayed at {}",
+        m.heap_capacity()
+    );
+    assert!(
+        m.counters.gc_count < 40,
+        "growth policy thrashed: {} collections",
+        m.counters.gc_count
+    );
+}
+
+/// GC stress: a deep live list survives dozens of collections driven by
+/// churn garbage, with every payload intact at the end.
+#[test]
+fn gc_stress_deep_live_list_survives_churn() {
+    let r = classic_registry();
+    let enc = |n: i64| r.reg.encode_immediate(r.fx, n);
+    let nil = r.reg.encode_immediate(r.reg.role("null").unwrap(), 0);
+    let pair_tag = 1;
+    let mut main = fun(
+        "main",
+        0,
+        8,
+        vec![
+            Inst::Const { d: 1, imm: nil },
+            Inst::Const { d: 2, imm: 300 }, // raw build counter
+            Inst::Const { d: 7, imm: enc(1) },
+            // L3: build 300 live pairs, car = 1, cdr = chain.
+            Inst::JumpCmp {
+                op: CmpOp::Eq,
+                a: 2,
+                b: RegImm::Imm(0),
+                t: 9,
+            },
+            Inst::AllocFill {
+                d: 3,
+                len: RegImm::Imm(2),
+                fill: 7,
+                rep: 5,
+            },
+            Inst::StoreD {
+                p: 3,
+                disp: 16 - pair_tag,
+                s: 1,
+            }, // cdr := chain
+            Inst::Move { d: 1, s: 3 },
+            Inst::BinI {
+                op: BinOp::Sub,
+                d: 2,
+                a: 2,
+                imm: 1,
+            },
+            Inst::Jump { t: 3 },
+            // L9: churn 20_000 garbage pairs.
+            Inst::Const { d: 4, imm: 20_000 }, // raw churn counter
+            Inst::JumpCmp {
+                op: CmpOp::Eq,
+                a: 4,
+                b: RegImm::Imm(0),
+                t: 14,
+            },
+            Inst::AllocFill {
+                d: 5,
+                len: RegImm::Imm(2),
+                fill: 7,
+                rep: 5,
+            },
+            Inst::BinI {
+                op: BinOp::Sub,
+                d: 4,
+                a: 4,
+                imm: 1,
+            },
+            Inst::Jump { t: 10 },
+            // L14: walk the list summing cars (raw adds of tagged fixnums
+            // keep the sum a tagged fixnum).
+            Inst::Const { d: 6, imm: 0 }, // raw accumulator
+            Inst::JumpCmp {
+                op: CmpOp::Eq,
+                a: 1,
+                b: RegImm::Imm(nil as i32),
+                t: 20,
+            },
+            Inst::LoadD {
+                d: 5,
+                p: 1,
+                disp: 8 - pair_tag,
+            }, // car
+            Inst::Bin {
+                op: BinOp::Add,
+                d: 6,
+                a: 6,
+                b: 5,
+            },
+            Inst::LoadD {
+                d: 1,
+                p: 1,
+                disp: 16 - pair_tag,
+            }, // cdr
+            Inst::Jump { t: 15 },
+            Inst::Ret { s: 6 },
+        ],
+    );
+    main.ptr_map[2] = false;
+    main.ptr_map[4] = false;
+    main.ptr_map[6] = false;
+    let prog = CodeProgram {
+        funs: vec![main],
+        main: 0,
+        pool: vec![],
+        nglobals: 0,
+        global_names: vec![],
+        registry: r.reg,
+    };
+    let mut m = Machine::new(
+        prog,
+        MachineConfig {
+            heap_words: 2048,
+            instruction_limit: None,
+        },
+    )
+    .unwrap();
+    let w = m.run().unwrap();
+    assert_eq!(m.describe(w), "300", "all 300 payloads survived");
+    assert!(
+        m.counters.gc_count >= 3,
+        "expected at least 3 forced collections, got {}",
+        m.counters.gc_count
+    );
+}
+
+#[test]
 fn heap_grows_transparently() {
     // Keep a growing live list so collections cannot reclaim; the heap
     // must grow rather than fail.
