@@ -1,0 +1,134 @@
+//! `chaos_vm` — runs the benchmark corpus under deterministic fault
+//! schedules and checks the chaos contract: every run either reproduces
+//! the fault-free oracle exactly or fails with a structured out-of-memory
+//! error.  Divergent values or unexpected error kinds are violations.
+//!
+//! The default sweep (also what CI's `chaos-smoke` job runs):
+//! GC-on-every-allocation, two seeded jitter schedules, two tight heap
+//! caps, and allocation failures at half of each configuration's own
+//! fault-free allocation count.
+//!
+//! ```text
+//! cargo run --release -p sxr-bench --bin chaos_vm
+//! cargo run --release -p sxr-bench --bin chaos_vm -- --seed 99 --heap-words 65536
+//! ```
+//!
+//! Flags: `--heap-words N` (initial heap, default 65536), `--seed N`
+//! (extra jitter schedule), `--probe` (print per-target allocation
+//! profiles instead of sweeping).
+
+use sxr::report::ChaosOutcome;
+use sxr::FaultPlan;
+use sxr_bench::{chaos_targets, run_chaos};
+
+fn usage() -> ! {
+    eprintln!("usage: chaos_vm [--heap-words N] [--seed N] [--probe]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut heap_words: usize = 1 << 16;
+    let mut extra_seed: Option<u64> = None;
+    let mut probe = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--heap-words" => {
+                heap_words = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                extra_seed = args.next().and_then(|v| v.parse().ok());
+                if extra_seed.is_none() {
+                    usage();
+                }
+            }
+            "--probe" => probe = true,
+            _ => usage(),
+        }
+    }
+
+    eprintln!("chaos_vm: compiling corpus (heap {heap_words} words)...");
+    let targets = chaos_targets(heap_words);
+
+    if probe {
+        println!(
+            "{:<8} {:<15} {:>9} {:>9}",
+            "bench", "config", "allocs", "gcs"
+        );
+        for t in &targets {
+            println!(
+                "{:<8} {:<15} {:>9} {:>9}",
+                t.name, t.config, t.total_allocs, t.oracle.counters.gc_count
+            );
+        }
+        return;
+    }
+
+    let mut plans: Vec<(String, FaultPlan)> = vec![
+        (
+            "gc-every-alloc".into(),
+            FaultPlan::none().with_gc_every_alloc(),
+        ),
+        ("jitter(1)".into(), FaultPlan::none().with_gc_jitter_seed(1)),
+        ("jitter(2)".into(), FaultPlan::none().with_gc_jitter_seed(2)),
+        (
+            "cap(4096)".into(),
+            FaultPlan::none().with_heap_cap_words(4096),
+        ),
+        (
+            "cap(16384)".into(),
+            FaultPlan::none().with_heap_cap_words(16384),
+        ),
+    ];
+    if let Some(seed) = extra_seed {
+        plans.push((
+            format!("jitter({seed})"),
+            FaultPlan::none().with_gc_jitter_seed(seed),
+        ));
+    }
+
+    let mut runs = 0usize;
+    let mut agreed = 0usize;
+    let mut oomed = 0usize;
+    let mut violations = Vec::new();
+    for t in &targets {
+        // Per-target plan: fail half-way through this config's own
+        // allocation stream (always inside the run, so always an OOM).
+        let fail_mid = FaultPlan::none().with_fail_alloc_at((t.total_allocs / 2).max(1));
+        for (label, plan) in plans.iter().cloned().chain(std::iter::once((
+            format!("fail-alloc({})", (t.total_allocs / 2).max(1)),
+            fail_mid,
+        ))) {
+            runs += 1;
+            match run_chaos(t, plan) {
+                ChaosOutcome::Agrees => agreed += 1,
+                ChaosOutcome::Failed(e) if e.is_oom() => oomed += 1,
+                ChaosOutcome::Failed(e) => violations.push(format!(
+                    "{}/{} under {label}: unexpected error kind: {e}",
+                    t.name, t.config
+                )),
+                ChaosOutcome::Diverged { got, want } => violations.push(format!(
+                    "{}/{} under {label}: DIVERGED\n  got:  {got}\n  want: {want}",
+                    t.name, t.config
+                )),
+            }
+        }
+    }
+
+    println!(
+        "chaos_vm: {runs} runs over {} targets: {agreed} agreed with the oracle, \
+         {oomed} failed with structured OOM, {} violations",
+        targets.len(),
+        violations.len()
+    );
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+}

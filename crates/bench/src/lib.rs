@@ -180,8 +180,8 @@ pub fn benchmark(name: &str) -> Option<&'static Benchmark> {
 // ---------------------------------------------------------------------------
 
 use std::time::Duration;
-use sxr::report::run_timed;
-use sxr::{Compiler, Counters, PipelineConfig};
+use sxr::report::{run_timed, run_under_fault, ChaosOutcome};
+use sxr::{Compiled, Compiler, Counters, FaultPlan, Outcome, PipelineConfig};
 
 /// The pipeline configurations the wall-clock harness measures, with their
 /// report labels.
@@ -257,6 +257,80 @@ pub fn measure_suite(iters: usize) -> Vec<Measurement> {
         }
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// Chaos harness (fault-injection sweeps over the corpus)
+// ---------------------------------------------------------------------------
+
+/// One (benchmark, configuration) compilation with its fault-free oracle —
+/// the unit a chaos sweep runs fault schedules against.
+#[derive(Debug)]
+pub struct ChaosTarget {
+    /// Benchmark name (see [`BENCHMARKS`]).
+    pub name: &'static str,
+    /// Expected final value from the suite's differential oracle.
+    pub expect: &'static str,
+    /// Configuration label (see [`measured_configs`]).
+    pub config: &'static str,
+    /// The compiled program (compile once, run under many plans).
+    pub compiled: Compiled,
+    /// The fault-free outcome (verified against `expect`).
+    pub oracle: Outcome,
+    /// Total object allocations of the fault-free run, pool included —
+    /// the ordinal space `FaultPlan::fail_alloc_at` indexes, so sweeps can
+    /// scale fail points to each configuration's own allocation profile.
+    pub total_allocs: u64,
+}
+
+/// Compiles the whole corpus under every measured configuration with
+/// `heap_words` of initial heap, runs each fault-free once, and returns the
+/// targets for a chaos sweep.
+///
+/// # Panics
+///
+/// Panics when a benchmark fails to compile, fails to run fault-free, or
+/// misses its oracle — the fault-free corpus is the suite's contract.
+pub fn chaos_targets(heap_words: usize) -> Vec<ChaosTarget> {
+    let mut out = Vec::with_capacity(BENCHMARKS.len() * 3);
+    for b in BENCHMARKS {
+        for (label, cfg) in measured_configs() {
+            let compiled = Compiler::new(cfg.with_heap_words(heap_words))
+                .compile(b.source)
+                .unwrap_or_else(|e| panic!("{}/{label}: compile failed: {e}", b.name));
+            let mut m = compiled
+                .machine()
+                .unwrap_or_else(|e| panic!("{}/{label}: load failed: {e}", b.name));
+            let w = m
+                .run()
+                .unwrap_or_else(|e| panic!("{}/{label}: fault-free run failed: {e}", b.name));
+            let oracle = Outcome {
+                value: m.describe(w),
+                output: m.output().to_string(),
+                counters: m.counters.clone(),
+            };
+            assert_eq!(
+                oracle.value, b.expect,
+                "{}/{label}: fault-free run missed the oracle",
+                b.name
+            );
+            out.push(ChaosTarget {
+                name: b.name,
+                expect: b.expect,
+                config: label,
+                compiled,
+                oracle,
+                total_allocs: m.allocations(),
+            });
+        }
+    }
+    out
+}
+
+/// Runs one target under `plan` and classifies the result against the
+/// target's fault-free oracle (see [`ChaosOutcome`]).
+pub fn run_chaos(target: &ChaosTarget, plan: FaultPlan) -> ChaosOutcome {
+    run_under_fault(&target.compiled, plan, &target.oracle)
 }
 
 fn json_escape(s: &str) -> String {

@@ -14,7 +14,7 @@
 //! projections, type tests). Raw registers are skipped by the GC.
 
 use std::collections::HashMap;
-use sxr_ir::anf::{Atom, Bound, Expr, Fun, Literal, Module, Test, VarId};
+use sxr_ir::anf::{Atom, Bound, Expr, FnId, Fun, Literal, Module, Test, VarId};
 use sxr_ir::prim::PrimOp;
 use sxr_ir::rep::{roles, RepKind, RepRegistry};
 use sxr_vm::{BinOp, CmpOp, CodeFun, CodeProgram, Inst, PoolEntry, Reg, RegImm, RepVmOp};
@@ -42,6 +42,177 @@ enum Kind {
     Tagged,
 }
 
+/// "Tagged wins": once a value may be tagged it must be treated as a root.
+fn join(a: Kind, b: Kind) -> Kind {
+    if a == Kind::Tagged || b == Kind::Tagged {
+        Kind::Tagged
+    } else {
+        Kind::Raw
+    }
+}
+
+/// The kind a primitive's result register gets (must agree with
+/// [`FnGen::emit_prim`]).
+fn prim_kind(op: &PrimOp) -> Kind {
+    use PrimOp::*;
+    match op {
+        WordAdd | WordSub | WordMul | WordQuot | WordRem | WordAnd | WordOr | WordXor | WordShl
+        | WordShr | WordEq | WordLt | PtrEq | RepProject | RepTest | RepLen | SpecHeader(_) => {
+            Kind::Raw
+        }
+        _ => Kind::Tagged,
+    }
+}
+
+/// Computes, for every function, the kind of each closure free-variable
+/// slot: `Raw` slots hold untagged machine words (projections, word
+/// arithmetic the optimizer hoisted across a lambda) and must be *skipped*
+/// by the collector — a raw word whose low bits alias a pointer tag would
+/// otherwise be "forwarded" into garbage.  Slots start `Raw` and join
+/// toward `Tagged` over every `MakeClosure`/`ClosurePatch` site, so the
+/// fixpoint terminates; `ClosureRef` reads feed a function's own slot
+/// kinds back into values it captures for others, which is why this is a
+/// whole-module fixpoint rather than a single pass.
+fn free_slot_kinds(module: &Module) -> Vec<Vec<Kind>> {
+    let mut slots: Vec<Vec<Kind>> = module
+        .funs
+        .iter()
+        .map(|f| vec![Kind::Raw; f.free_count])
+        .collect();
+    loop {
+        let mut changed = false;
+        for (fid, f) in module.funs.iter().enumerate() {
+            let mut env: HashMap<VarId, Kind> = HashMap::new();
+            env.insert(f.self_var, Kind::Tagged);
+            for p in f.params.iter().chain(f.rest.iter()) {
+                env.insert(*p, Kind::Tagged);
+            }
+            // Vars bound to `MakeClosure`, so `ClosurePatch` can attribute
+            // its store to the right function's slot.
+            let mut closure_of: HashMap<VarId, FnId> = HashMap::new();
+            slot_walk_expr(
+                &f.body,
+                fid as FnId,
+                &mut env,
+                &mut closure_of,
+                &mut slots,
+                &mut changed,
+            );
+        }
+        if !changed {
+            break;
+        }
+    }
+    slots
+}
+
+fn slot_atom_kind(a: &Atom, env: &HashMap<VarId, Kind>) -> Kind {
+    match a {
+        Atom::Var(v) => env.get(v).copied().unwrap_or(Kind::Tagged),
+        Atom::Lit(Literal::Raw(_)) => Kind::Raw,
+        Atom::Lit(_) => Kind::Tagged,
+    }
+}
+
+fn slot_join_into(slots: &mut [Vec<Kind>], fid: FnId, idx: usize, k: Kind, changed: &mut bool) {
+    if let Some(slot) = slots.get_mut(fid as usize).and_then(|s| s.get_mut(idx)) {
+        let j = join(*slot, k);
+        if j != *slot {
+            *slot = j;
+            *changed = true;
+        }
+    }
+}
+
+/// Walks an expression, binding kinds into `env`, and returns the kind of
+/// the value the expression yields.
+fn slot_walk_expr(
+    e: &Expr,
+    fid: FnId,
+    env: &mut HashMap<VarId, Kind>,
+    closure_of: &mut HashMap<VarId, FnId>,
+    slots: &mut Vec<Vec<Kind>>,
+    changed: &mut bool,
+) -> Kind {
+    match e {
+        Expr::Let(v, b, body) => {
+            let k = slot_walk_bound(*v, b, fid, env, closure_of, slots, changed);
+            env.insert(*v, k);
+            slot_walk_expr(body, fid, env, closure_of, slots, changed)
+        }
+        Expr::If(_, t, els) => {
+            let a = slot_walk_expr(t, fid, env, closure_of, slots, changed);
+            let b = slot_walk_expr(els, fid, env, closure_of, slots, changed);
+            join(a, b)
+        }
+        Expr::Ret(a) => slot_atom_kind(a, env),
+        Expr::TailCall(..) | Expr::TailCallKnown(..) => Kind::Tagged,
+        // Pre-closure-conversion only; nothing to do here.
+        Expr::LetRec(_, body) => slot_walk_expr(body, fid, env, closure_of, slots, changed),
+    }
+}
+
+fn slot_walk_bound(
+    v: VarId,
+    b: &Bound,
+    fid: FnId,
+    env: &mut HashMap<VarId, Kind>,
+    closure_of: &mut HashMap<VarId, FnId>,
+    slots: &mut Vec<Vec<Kind>>,
+    changed: &mut bool,
+) -> Kind {
+    match b {
+        Bound::Atom(a) => {
+            if let Atom::Var(src) = a {
+                if let Some(t) = closure_of.get(src).copied() {
+                    closure_of.insert(v, t);
+                }
+            }
+            slot_atom_kind(a, env)
+        }
+        Bound::Prim(op, _) => prim_kind(op),
+        Bound::MakeClosure(target, frees) => {
+            for (i, a) in frees.iter().enumerate() {
+                let k = slot_atom_kind(a, env);
+                slot_join_into(slots, *target, i, k, changed);
+            }
+            closure_of.insert(v, *target);
+            Kind::Tagged
+        }
+        Bound::ClosureRef(i) => slots
+            .get(fid as usize)
+            .and_then(|s| s.get(*i))
+            .copied()
+            .unwrap_or(Kind::Tagged),
+        Bound::ClosurePatch(c, i, x) => {
+            let k = slot_atom_kind(x, env);
+            match c.as_var().and_then(|cv| closure_of.get(&cv).copied()) {
+                Some(target) => slot_join_into(slots, target, *i, k, changed),
+                // Unknown patch target: assume it could be any function.
+                None => {
+                    for t in 0..slots.len() {
+                        slot_join_into(slots, t as FnId, *i, k, changed);
+                    }
+                }
+            }
+            Kind::Tagged // binds the unspecified value
+        }
+        Bound::If(_, t, els) => {
+            let a = slot_walk_expr(t, fid, env, closure_of, slots, changed);
+            let b = slot_walk_expr(els, fid, env, closure_of, slots, changed);
+            join(a, b)
+        }
+        Bound::Body(e) => slot_walk_expr(e, fid, env, closure_of, slots, changed),
+        // Calls, globals, lambdas (pre-cc), and effect binders yield tagged
+        // values (effect binders bind the unspecified value).
+        Bound::Call(..)
+        | Bound::CallKnown(..)
+        | Bound::GlobalGet(_)
+        | Bound::GlobalSet(..)
+        | Bound::Lambda(_) => Kind::Tagged,
+    }
+}
+
 /// Generates a loadable program from a validated module.
 ///
 /// # Errors
@@ -58,9 +229,10 @@ pub fn generate(module: &Module, registry: &RepRegistry) -> Result<CodeProgram, 
         unspec_word: encode_role_imm(registry, roles::UNSPECIFIED, 0)?,
         closure_tag: ptr_tag(registry, roles::CLOSURE)?,
     };
+    let slot_kinds = free_slot_kinds(module);
     let mut funs = Vec::with_capacity(module.funs.len());
-    for f in &module.funs {
-        funs.push(FnGen::emit(f, &mut shared)?);
+    for (fid, f) in module.funs.iter().enumerate() {
+        funs.push(FnGen::emit(f, &slot_kinds[fid], &mut shared)?);
     }
     Ok(CodeProgram {
         funs,
@@ -199,7 +371,8 @@ enum Enc {
 struct FnGen<'a, 'b> {
     shared: &'a mut Shared<'b>,
     regs: HashMap<VarId, Reg>,
-    kinds: Vec<Kind>, // per register
+    kinds: Vec<Kind>,       // per register
+    free_kinds: &'a [Kind], // per closure free slot (from `free_slot_kinds`)
     insts: Vec<Inst>,
     patches: Vec<(usize, u32)>, // (inst index, label)
     labels: Vec<Option<u32>>,
@@ -216,11 +389,16 @@ enum Ctx {
 }
 
 impl<'a, 'b> FnGen<'a, 'b> {
-    fn emit(f: &Fun, shared: &'a mut Shared<'b>) -> Result<CodeFun, CodegenError> {
+    fn emit(
+        f: &Fun,
+        free_kinds: &'a [Kind],
+        shared: &'a mut Shared<'b>,
+    ) -> Result<CodeFun, CodegenError> {
         let mut g = FnGen {
             shared,
             regs: HashMap::new(),
             kinds: Vec::new(),
+            free_kinds,
             insts: Vec::new(),
             patches: Vec::new(),
             labels: Vec::new(),
@@ -253,6 +431,7 @@ impl<'a, 'b> FnGen<'a, 'b> {
             free_count: f.free_count,
             insts: g.insts,
             ptr_map: g.kinds.iter().map(|k| *k == Kind::Tagged).collect(),
+            free_ptr_map: free_kinds.iter().map(|k| *k == Kind::Tagged).collect(),
         })
     }
 
@@ -600,7 +779,10 @@ impl<'a, 'b> FnGen<'a, 'b> {
                 Ok(())
             }
             Bound::ClosureRef(i) => {
-                let d = self.define(v, Kind::Tagged)?;
+                // The slot's kind flows into the destination register: a raw
+                // capture must stay invisible to the collector.
+                let k = self.free_kinds.get(*i).copied().unwrap_or(Kind::Tagged);
+                let d = self.define(v, k)?;
                 let disp = (8 * (*i as i64 + 2) - self.shared.closure_tag) as i32;
                 self.insts.push(Inst::LoadD { d, p: 0, disp });
                 Ok(())

@@ -2,6 +2,7 @@
 //! evaluation.
 
 use sxr_opt::OptOptions;
+use sxr_vm::FaultPlan;
 
 /// How the primitive layer is provided.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +31,11 @@ pub struct PipelineConfig {
     /// the pass that introduced it).  Defaults on in debug builds and tests,
     /// off in release builds.
     pub verify_passes: bool,
+    /// Deterministic fault-injection schedule for machine runs (defaults to
+    /// none).  See [`FaultPlan`]; the chaos battery runs the whole corpus
+    /// under adversarial schedules and requires results identical to a
+    /// fault-free run or a structured out-of-memory error.
+    pub fault: FaultPlan,
 }
 
 impl PipelineConfig {
@@ -41,6 +47,7 @@ impl PipelineConfig {
             heap_words: 1 << 21,
             instruction_limit: None,
             verify_passes: cfg!(debug_assertions),
+            fault: FaultPlan::default(),
         }
     }
 
@@ -53,6 +60,7 @@ impl PipelineConfig {
             heap_words: 1 << 21,
             instruction_limit: None,
             verify_passes: cfg!(debug_assertions),
+            fault: FaultPlan::default(),
         }
     }
 
@@ -64,6 +72,7 @@ impl PipelineConfig {
             heap_words: 1 << 21,
             instruction_limit: None,
             verify_passes: cfg!(debug_assertions),
+            fault: FaultPlan::default(),
         }
     }
 
@@ -97,6 +106,13 @@ impl PipelineConfig {
         self
     }
 
+    /// Installs a fault-injection schedule for machine runs (see
+    /// [`FaultPlan`]).
+    pub fn with_fault(mut self, fault: FaultPlan) -> PipelineConfig {
+        self.fault = fault;
+        self
+    }
+
     /// A short label for reports.
     pub fn label(&self) -> &'static str {
         match (self.mode, self.opt.rounds) {
@@ -126,6 +142,14 @@ mod tests {
         let cfg = PipelineConfig::ablated("repspec");
         assert!(!cfg.opt.repspec);
         assert!(cfg.opt.inline);
+    }
+
+    #[test]
+    fn fault_builder() {
+        let cfg = PipelineConfig::abstract_optimized();
+        assert!(cfg.fault.is_none(), "default config injects nothing");
+        let chaotic = cfg.with_fault(FaultPlan::none().with_gc_every_alloc());
+        assert!(chaotic.fault.gc_every_alloc);
     }
 
     #[test]

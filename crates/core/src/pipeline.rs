@@ -12,7 +12,7 @@ use sxr_ir::rep::{RepId, RepRegistry};
 use sxr_ir::{closure_convert, lower_program, validate_module};
 use sxr_opt::{optimize, scan_representations, OptReport};
 use sxr_sexp::parse_all;
-use sxr_vm::{CodeFun, CodeProgram, Counters, Machine, MachineConfig, VmError};
+use sxr_vm::{CodeFun, CodeProgram, Counters, FaultPlan, Machine, MachineConfig, VmError};
 
 /// The representation declarations (shared by every configuration).
 pub const REPS_SCM: &str = include_str!("../scheme/reps.scm");
@@ -175,6 +175,7 @@ impl Compiler {
             opt_report,
             heap_words: self.config.heap_words,
             instruction_limit: self.config.instruction_limit,
+            fault: self.config.fault.clone(),
         })
     }
 }
@@ -195,6 +196,7 @@ pub struct Compiled {
     pub rep_globals: HashMap<GlobalId, RepId>,
     heap_words: usize,
     instruction_limit: Option<u64>,
+    fault: FaultPlan,
 }
 
 /// The observable result of running a program.
@@ -210,17 +212,32 @@ pub struct Outcome {
 }
 
 impl Compiled {
-    /// Creates a fresh machine loaded with this program.
+    /// Creates a fresh machine loaded with this program, under the fault
+    /// plan the pipeline configuration installed (none by default).
     ///
     /// # Errors
     ///
-    /// Returns a [`VmError`] if the program's registry is incomplete.
+    /// Returns a [`VmError`] if the program's registry is incomplete, or a
+    /// structured out-of-memory error when the plan's heap cap cannot hold
+    /// the constant pool.
     pub fn machine(&self) -> Result<Machine, VmError> {
+        self.machine_with_fault(self.fault.clone())
+    }
+
+    /// Creates a fresh machine under an explicit fault plan, overriding the
+    /// configuration's (chaos harnesses use this to sweep many schedules
+    /// over one compilation).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Compiled::machine`].
+    pub fn machine_with_fault(&self, fault: FaultPlan) -> Result<Machine, VmError> {
         Machine::new(
             self.code.clone(),
             MachineConfig {
                 heap_words: self.heap_words,
                 instruction_limit: self.instruction_limit,
+                fault,
             },
         )
     }
@@ -231,7 +248,21 @@ impl Compiled {
     ///
     /// Returns a [`VmError`] raised during loading or execution.
     pub fn run(&self) -> Result<Outcome, VmError> {
-        let mut m = self.machine()?;
+        self.run_with_fault(self.fault.clone())
+    }
+
+    /// Runs the program on a fresh machine under an explicit fault plan.
+    /// The fault-injection contract: the result is either identical to a
+    /// fault-free run or an `Err` with a structured kind (for memory
+    /// schedules, [`sxr_vm::VmErrorKind::OutOfMemory`]) — never a panic or
+    /// a silently wrong value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] raised during loading or execution, including
+    /// any the plan injects.
+    pub fn run_with_fault(&self, fault: FaultPlan) -> Result<Outcome, VmError> {
+        let mut m = self.machine_with_fault(fault)?;
         let w = m.run()?;
         Ok(Outcome {
             value: m.describe(w),

@@ -1,7 +1,7 @@
 //! Report helpers shared by the benchmark harness (Tables 1–3, Figures
 //! 1–2, `bench_vm`) and the examples.
 
-use crate::{Compiled, Compiler, Outcome, PipelineConfig, VmError};
+use crate::{Compiled, Compiler, FaultPlan, Outcome, PipelineConfig, VmError};
 use std::time::{Duration, Instant};
 
 /// The primitive operations whose generated code Table 1 compares.
@@ -65,6 +65,39 @@ pub fn run_timed(compiled: &Compiled) -> Result<(Duration, Outcome), VmError> {
             counters: m.counters.clone(),
         },
     ))
+}
+
+/// How one run under a fault plan relates to the fault-free oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosOutcome {
+    /// The run finished and its observable behaviour (final value plus
+    /// `%write-char` output) matched the fault-free run exactly.
+    Agrees,
+    /// The run finished but its observable behaviour diverged — a
+    /// miscompilation or GC bug; the chaos battery treats this as fatal.
+    Diverged {
+        /// What the faulted run produced (`value\noutput`).
+        got: String,
+        /// What the fault-free oracle produced.
+        want: String,
+    },
+    /// The run failed with a structured error (for memory fault plans this
+    /// is the expected alternative to agreement).
+    Failed(VmError),
+}
+
+/// Runs `compiled` under `plan` and classifies the result against the
+/// fault-free oracle outcome — the primitive the chaos battery and
+/// `sxr-bench` build their sweeps from.
+pub fn run_under_fault(compiled: &Compiled, plan: FaultPlan, oracle: &Outcome) -> ChaosOutcome {
+    match compiled.run_with_fault(plan) {
+        Ok(out) if out.value == oracle.value && out.output == oracle.output => ChaosOutcome::Agrees,
+        Ok(out) => ChaosOutcome::Diverged {
+            got: format!("{}\n{}", out.value, out.output),
+            want: format!("{}\n{}", oracle.value, oracle.output),
+        },
+        Err(e) => ChaosOutcome::Failed(e),
+    }
 }
 
 /// One primitive's static instruction counts across the three

@@ -17,6 +17,9 @@ pub struct Counters {
     pub allocated_objects: u64,
     /// Garbage collections performed.
     pub gc_count: u64,
+    /// Collections forced by a fault plan (subset of `gc_count`); always
+    /// zero on fault-free runs.
+    pub gc_forced: u64,
     /// Words copied by the collector (survivors).
     pub gc_copied_words: u64,
     /// Calls performed (direct + indirect, including tail calls).
@@ -46,7 +49,7 @@ impl Counters {
     /// zero).  This is the schema of the `counters` object in
     /// `BENCH_vm.json`.
     pub fn as_pairs(&self) -> Vec<(&'static str, u64)> {
-        let mut pairs = Vec::with_capacity(6 + InstClass::ALL.len());
+        let mut pairs = Vec::with_capacity(7 + InstClass::ALL.len());
         pairs.push(("total", self.total));
         for c in InstClass::ALL {
             pairs.push((c.label(), self.class(c)));
@@ -54,6 +57,7 @@ impl Counters {
         pairs.push(("allocated_words", self.allocated_words));
         pairs.push(("allocated_objects", self.allocated_objects));
         pairs.push(("gc_count", self.gc_count));
+        pairs.push(("gc_forced", self.gc_forced));
         pairs.push(("gc_copied_words", self.gc_copied_words));
         pairs.push(("calls", self.calls));
         pairs

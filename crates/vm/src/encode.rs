@@ -80,13 +80,10 @@ pub fn encode_datum(m: &mut Machine, d: &Datum) -> Result<Word, VmError> {
             Ok(m.registry.encode_immediate(ch, *c as i64))
         }
         Datum::String(s) => encode_string(m, s),
-        Datum::Symbol(s) => {
-            if let Some(w) = m.interned_lookup(s) {
-                return Ok(w);
-            }
-            let str_w = encode_string(m, s)?;
-            m.intern_value(str_w)
-        }
+        // Symbols go through the quiet load-time interning path: callers
+        // here (list tails, vector elements) hold partially built structure
+        // in Rust locals that are not GC roots, so no collection may run.
+        Datum::Symbol(s) => m.intern_loaded(s),
         Datum::List(items) => {
             let nil = need_role(m, roles::NULL, "a list literal")?;
             let mut tail = m.registry.encode_immediate(nil, 0);

@@ -2,6 +2,30 @@
 
 use std::fmt;
 
+/// Which activity detected an out-of-memory condition — the two are
+/// operationally different: an `Alloc` OOM means the request itself can
+/// never fit under the capacity cap, a `Collect` OOM means a completed
+/// collection failed to reclaim enough space for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OomPhase {
+    /// The allocation request exceeds what the heap could ever provide
+    /// (or a fault plan failed this allocation by schedule).
+    Alloc,
+    /// A garbage collection ran to completion but the surviving live data
+    /// left too little room for the request, and the capacity cap forbids
+    /// growing.
+    Collect,
+}
+
+impl fmt::Display for OomPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OomPhase::Alloc => "alloc",
+            OomPhase::Collect => "collect",
+        })
+    }
+}
+
 /// Why execution stopped abnormally.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VmErrorKind {
@@ -22,6 +46,43 @@ pub enum VmErrorKind {
     /// The configured instruction budget was exhausted (used by tests to
     /// bound runaway programs).
     Timeout,
+    /// The heap could not satisfy an allocation: `requested` words were
+    /// needed but only `capacity` words of (capped) heap exist.  Structured
+    /// and recoverable — the machine's state is still a valid heap; no
+    /// partial object was created.  `phase` distinguishes a request that
+    /// could never fit ([`OomPhase::Alloc`]) from a collection that ran but
+    /// reclaimed too little ([`OomPhase::Collect`]).
+    OutOfMemory {
+        /// Words the failing allocation needed (header included).
+        requested: usize,
+        /// Heap capacity in words at the time of failure.
+        capacity: usize,
+        /// Which activity detected the exhaustion.
+        phase: OomPhase,
+    },
+}
+
+impl VmErrorKind {
+    /// True for any [`VmErrorKind::OutOfMemory`], whatever its payload.
+    pub fn is_oom(&self) -> bool {
+        matches!(self, VmErrorKind::OutOfMemory { .. })
+    }
+
+    /// A stable label for the kind, ignoring payload (used by differential
+    /// harnesses to compare error classes across configurations).
+    pub fn label(&self) -> &'static str {
+        match self {
+            VmErrorKind::NotAProcedure => "not-a-procedure",
+            VmErrorKind::ArityMismatch => "arity-mismatch",
+            VmErrorKind::BadMemoryAccess => "bad-memory-access",
+            VmErrorKind::DivideByZero => "divide-by-zero",
+            VmErrorKind::BadRepOperation => "bad-rep-operation",
+            VmErrorKind::SchemeError => "scheme-error",
+            VmErrorKind::BadProgram => "bad-program",
+            VmErrorKind::Timeout => "timeout",
+            VmErrorKind::OutOfMemory { .. } => "out-of-memory",
+        }
+    }
 }
 
 /// A runtime error with context.
@@ -41,6 +102,26 @@ impl VmError {
             message: message.into(),
         }
     }
+
+    /// Creates a structured out-of-memory error.
+    pub fn oom(requested: usize, capacity: usize, phase: OomPhase) -> VmError {
+        VmError {
+            kind: VmErrorKind::OutOfMemory {
+                requested,
+                capacity,
+                phase,
+            },
+            message: format!(
+                "out of memory during {phase}: {requested} words requested, \
+                 {capacity} words of heap"
+            ),
+        }
+    }
+
+    /// True for any out-of-memory error.
+    pub fn is_oom(&self) -> bool {
+        self.kind.is_oom()
+    }
 }
 
 impl fmt::Display for VmError {
@@ -59,5 +140,31 @@ mod tests {
     fn display() {
         let e = VmError::new(VmErrorKind::DivideByZero, "quotient by zero");
         assert_eq!(e.to_string(), "vm error: quotient by zero");
+    }
+
+    #[test]
+    fn oom_is_structured_and_phased() {
+        let e = VmError::oom(128, 64, OomPhase::Collect);
+        assert!(e.is_oom());
+        assert_eq!(
+            e.kind,
+            VmErrorKind::OutOfMemory {
+                requested: 128,
+                capacity: 64,
+                phase: OomPhase::Collect
+            }
+        );
+        assert!(e.to_string().contains("during collect"));
+        assert!(e.to_string().contains("128 words requested"));
+        let a = VmError::oom(128, 64, OomPhase::Alloc);
+        assert_ne!(a.kind, e.kind, "phases are distinguishable");
+        assert_eq!(a.kind.label(), e.kind.label(), "but share one class label");
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        assert_eq!(VmErrorKind::Timeout.label(), "timeout");
+        assert_eq!(VmErrorKind::BadProgram.label(), "bad-program");
+        assert!(!VmErrorKind::SchemeError.is_oom());
     }
 }

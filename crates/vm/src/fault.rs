@@ -1,0 +1,179 @@
+//! Deterministic fault injection — the "chaos heap".
+//!
+//! A [`FaultPlan`] perturbs the machine's memory behaviour without touching
+//! its observable semantics: collections can be forced at every allocation
+//! point or on a seeded schedule, a chosen allocation can be made to fail,
+//! and the heap can be given a hard capacity cap.  Every fault is
+//! *deterministic* — the same plan, program, and configuration always fault
+//! at the same points — so a failure found under chaos replays exactly.
+//!
+//! The contract the test suite enforces: under any plan the machine either
+//! produces the same observable result as a fault-free run or returns a
+//! structured, recoverable error
+//! ([`crate::VmErrorKind::OutOfMemory`]) — never a panic, never a
+//! corrupted heap.
+//!
+//! Forced collections fire only at the machine's designated GC-safe points
+//! (the reservation calls that precede object initialization), mirroring
+//! how a real collector may run at any allocation but never *inside* one.
+
+/// A deterministic fault-injection schedule for one machine run.
+///
+/// The default plan injects nothing; builders compose:
+///
+/// ```
+/// use sxr_vm::FaultPlan;
+///
+/// let plan = FaultPlan::default()
+///     .with_gc_every_alloc()
+///     .with_heap_cap_words(1 << 14);
+/// assert!(!plan.is_none());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Force a full collection at every GC-safe allocation point.  The
+    /// strongest schedule: every object is copied as often as possible, so
+    /// any root the machine forgot to register is exposed immediately.
+    pub gc_every_alloc: bool,
+    /// Fail the Nth object allocation (1-based, counted from machine load —
+    /// constant-pool construction included) with
+    /// [`crate::VmErrorKind::OutOfMemory`].
+    pub fail_alloc_at: Option<u64>,
+    /// Hard ceiling on heap capacity in words.  The heap never grows past
+    /// it (and starts no larger); an allocation that cannot be satisfied
+    /// within the cap — even after collecting — reports a structured
+    /// out-of-memory error.  Values below 64 words are rounded up to 64,
+    /// the heap's minimum capacity.
+    pub heap_cap_words: Option<usize>,
+    /// Seed for the jittered GC schedule: an in-tree xorshift64* stream
+    /// decides at each GC-safe point whether to force a collection
+    /// (roughly one point in eight).  Identical seeds give identical
+    /// schedules.
+    pub gc_jitter_seed: Option<u64>,
+}
+
+impl FaultPlan {
+    /// The empty plan — injects nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_none(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// Forces a collection at every GC-safe allocation point.
+    pub fn with_gc_every_alloc(mut self) -> FaultPlan {
+        self.gc_every_alloc = true;
+        self
+    }
+
+    /// Fails the `n`th allocation (1-based) with a structured OOM.
+    pub fn with_fail_alloc_at(mut self, n: u64) -> FaultPlan {
+        self.fail_alloc_at = Some(n);
+        self
+    }
+
+    /// Caps heap capacity at `words` (floor 64).
+    pub fn with_heap_cap_words(mut self, words: usize) -> FaultPlan {
+        self.heap_cap_words = Some(words);
+        self
+    }
+
+    /// Installs a seeded jittered-GC schedule.
+    pub fn with_gc_jitter_seed(mut self, seed: u64) -> FaultPlan {
+        self.gc_jitter_seed = Some(seed);
+        self
+    }
+
+    /// The effective capacity cap, with the heap's 64-word floor applied.
+    pub(crate) fn effective_cap(&self) -> usize {
+        self.heap_cap_words.map_or(usize::MAX, |c| c.max(64))
+    }
+
+    /// Whether any GC-timing perturbation is active (fast-path gate).
+    pub(crate) fn perturbs_gc(&self) -> bool {
+        self.gc_every_alloc || self.gc_jitter_seed.is_some()
+    }
+}
+
+/// The deterministic xorshift64* stream behind the jittered schedule (also
+/// reusable by test harnesses that need an in-tree PRNG).
+#[derive(Debug, Clone)]
+pub struct ChaosRng(u64);
+
+impl ChaosRng {
+    /// Seeds the stream (a zero seed is bumped to 1; xorshift has no
+    /// all-zero state).
+    pub fn new(seed: u64) -> ChaosRng {
+        ChaosRng(seed.max(1))
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Jitter decision: force a collection at this safe point?
+    pub(crate) fn force_gc(&mut self) -> bool {
+        self.next_u64().is_multiple_of(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_none() {
+        assert!(FaultPlan::default().is_none());
+        assert!(FaultPlan::none().is_none());
+        assert!(!FaultPlan::none().with_gc_every_alloc().is_none());
+        assert!(!FaultPlan::none().with_fail_alloc_at(3).is_none());
+        assert!(!FaultPlan::none().with_heap_cap_words(1 << 12).is_none());
+        assert!(!FaultPlan::none().with_gc_jitter_seed(42).is_none());
+    }
+
+    #[test]
+    fn cap_floor_is_64_words() {
+        assert_eq!(
+            FaultPlan::none().with_heap_cap_words(10).effective_cap(),
+            64
+        );
+        assert_eq!(
+            FaultPlan::none().with_heap_cap_words(4096).effective_cap(),
+            4096
+        );
+        assert_eq!(FaultPlan::none().effective_cap(), usize::MAX);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = ChaosRng::new(7);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = ChaosRng::new(7);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = ChaosRng::new(8);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b, "same seed, same stream");
+        assert_ne!(a, c, "different seed, different stream");
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = ChaosRng::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+}

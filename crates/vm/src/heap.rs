@@ -50,11 +50,17 @@ pub fn grow_target(used: usize, need: usize, capacity: usize) -> usize {
     ((used + need) * 2).max(capacity * 2)
 }
 
-/// The heap: a single growable space plus an allocation cursor.
+/// The heap: a single growable space plus an allocation cursor, and a
+/// retired semispace kept for the next collection.
 #[derive(Debug)]
 pub struct Heap {
     space: Vec<Word>,
     next: usize,
+    /// The previous from-space, recycled as the next to-space (see
+    /// [`Heap::end_gc`]).  Without recycling, fault schedules that collect
+    /// at every allocation would allocate and free a capacity-sized buffer
+    /// per object.
+    spare: Vec<Word>,
 }
 
 impl Heap {
@@ -63,6 +69,7 @@ impl Heap {
         Heap {
             space: vec![0; capacity_words.max(64)],
             next: 0,
+            spare: Vec::new(),
         }
     }
 
@@ -145,11 +152,25 @@ impl Heap {
         Ok(())
     }
 
-    /// Begins a collection: replaces the space with a fresh one of
-    /// `capacity` and returns the old (from-) space.
+    /// Begins a collection: replaces the space with a to-space of
+    /// `capacity` (recycling the spare semispace when one is available)
+    /// and returns the old (from-) space.
+    ///
+    /// The to-space is *not* zeroed beyond what resizing requires: words
+    /// past the allocation cursor are never read before being written
+    /// (allocation fills them, forwarding copies over them, and
+    /// [`Heap::get`]/[`Heap::set`] reject indices past the cursor).
     pub fn begin_gc(&mut self, capacity: usize) -> Vec<Word> {
         self.next = 0;
-        std::mem::replace(&mut self.space, vec![0; capacity])
+        let mut to = std::mem::take(&mut self.spare);
+        to.resize(capacity, 0);
+        std::mem::replace(&mut self.space, to)
+    }
+
+    /// Ends a collection by retiring the drained from-space for reuse as
+    /// the next collection's to-space.
+    pub fn end_gc(&mut self, from: Vec<Word>) {
+        self.spare = from;
     }
 
     /// Forwards one word: if it is a pointer per `ptr_table`, copies its
@@ -215,14 +236,50 @@ impl Heap {
     /// Propagates [`Heap::forward`] failures.
     pub fn scan_from(
         &mut self,
+        scan: usize,
+        from: &mut [Word],
+        ptr_table: &[bool; 8],
+    ) -> Result<usize, VmError> {
+        self.scan_from_precise(scan, from, ptr_table, None)
+    }
+
+    /// [`Heap::scan_from`] with closure-precise field maps: when `closures`
+    /// is given and an object's header type matches, the function id is
+    /// decoded from the code field and free slots whose `free_ptr_map`
+    /// entry is `false` are left unscanned — they hold untagged words whose
+    /// low bits may alias a pointer tag.  Slots past the end of a map (or
+    /// with no map at all) are conservatively scanned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Heap::forward`] failures.
+    pub fn scan_from_precise(
+        &mut self,
         mut scan: usize,
         from: &mut [Word],
         ptr_table: &[bool; 8],
+        closures: Option<&ClosureScan<'_>>,
     ) -> Result<usize, VmError> {
         while scan < self.next {
             let h = self.space[scan];
             let len = header_len(h);
+            let slot_map = closures
+                .filter(|cs| header_type(h) == cs.type_id && len >= 1)
+                .map(|cs| {
+                    let fnid = (self.space[scan + 1] >> cs.code_shift) as usize;
+                    cs.funs
+                        .get(fnid)
+                        .map(|f| f.free_ptr_map.as_slice())
+                        .unwrap_or(&[])
+                });
             for i in 1..=len {
+                // Field 1 of a closure is the code fixnum; fields 2.. are
+                // free slots 0.. with per-slot scan decisions.
+                if let Some(map) = slot_map {
+                    if i >= 2 && !map.get(i - 2).copied().unwrap_or(true) {
+                        continue;
+                    }
+                }
                 let w = self.space[scan + i];
                 let fwd = self.forward(from, w, ptr_table)?;
                 self.space[scan + i] = fwd;
@@ -231,6 +288,21 @@ impl Heap {
         }
         Ok(scan)
     }
+}
+
+/// Layout facts [`Heap::scan_from_precise`] needs to recognize closures and
+/// skip their raw free slots.
+#[derive(Debug, Clone, Copy)]
+pub struct ClosureScan<'a> {
+    /// Header type id of closure objects.
+    pub type_id: u16,
+    /// Right-shift decoding the code field (a tagged fixnum) to a function
+    /// index.
+    pub code_shift: u32,
+    /// The program's functions; free slot `i` of a closure over `funs[f]`
+    /// is scanned iff `funs[f].free_ptr_map[i]` (missing entries default to
+    /// scanned).
+    pub funs: &'a [crate::inst::CodeFun],
 }
 
 #[cfg(test)]
@@ -378,6 +450,27 @@ mod tests {
             "old target no-ops"
         );
         assert!(grow_target(used, need, cap) > cap);
+    }
+
+    #[test]
+    fn semispace_recycling_preserves_collection_results() {
+        let mut ptr_table = [false; 8];
+        ptr_table[1] = true;
+        let mut h = Heap::new(128);
+        // Two back-to-back collections of the same one-object graph; the
+        // second reuses the first's retired from-space as its to-space.
+        for round in 0..2 {
+            let payload = (1000 + round) << 3; // fixnum-style, tag 0
+            let obj = h.alloc(2, 5, payload);
+            let ptr = ((obj as i64) << 3) | 1;
+            let mut from = h.begin_gc(128);
+            let fwd = h.forward(&mut from, ptr, &ptr_table).unwrap();
+            h.scan_from(0, &mut from, &ptr_table).unwrap();
+            h.end_gc(from);
+            let idx = (fwd >> 3) as usize;
+            assert_eq!(h.get(idx + 1).unwrap(), payload);
+            assert_eq!(h.used(), 3);
+        }
     }
 
     #[test]

@@ -243,6 +243,12 @@ pub struct CodeFun {
     /// precise-GC root map). Raw-word registers are skipped by the
     /// collector.
     pub ptr_map: Vec<bool>,
+    /// `free_ptr_map[i]` is true when closure free slot `i` may hold a
+    /// tagged value. Raw slots (untagged words the optimizer hoisted across
+    /// a lambda) are skipped when the collector scans a closure of this
+    /// function. Slots past the end of the map are conservatively scanned,
+    /// so an empty map means "scan everything" (hand-built code).
+    pub free_ptr_map: Vec<bool>,
 }
 
 /// An entry in the constant pool, materialized on the heap by the loader.
@@ -282,6 +288,7 @@ impl Default for CodeFun {
             free_count: 0,
             insts: Vec::new(),
             ptr_map: vec![true],
+            free_ptr_map: Vec::new(),
         }
     }
 }

@@ -41,6 +41,7 @@
 //!         Inst::Ret { s: 2 },
 //!     ],
 //!     ptr_map: vec![true, true, true],
+//!     free_ptr_map: vec![],
 //! };
 //! let prog = CodeProgram { funs: vec![main], main: 0, pool: vec![], nglobals: 0,
 //!                          global_names: vec![], registry: reg };
@@ -53,14 +54,16 @@ mod counters;
 mod decode;
 mod encode;
 mod error;
+mod fault;
 mod heap;
 mod inst;
 mod machine;
 
 pub use counters::Counters;
 pub use encode::{describe as describe_word, encode_datum, words_needed};
-pub use error::{VmError, VmErrorKind};
-pub use heap::{grow_target, header, header_len, header_type, Heap, Word};
+pub use error::{OomPhase, VmError, VmErrorKind};
+pub use fault::{ChaosRng, FaultPlan};
+pub use heap::{grow_target, header, header_len, header_type, ClosureScan, Heap, Word};
 pub use inst::{
     BinOp, CmpOp, CodeFun, CodeProgram, Inst, InstClass, PoolEntry, Reg, RegImm, RepVmOp,
 };

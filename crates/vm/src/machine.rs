@@ -9,8 +9,9 @@
 use crate::counters::Counters;
 use crate::decode::{decode_program, ArgSpan, DInst, DecodedProgram};
 use crate::encode;
-use crate::error::{VmError, VmErrorKind};
-use crate::heap::{grow_target, header_len, header_type, Heap, Word};
+use crate::error::{OomPhase, VmError, VmErrorKind};
+use crate::fault::{ChaosRng, FaultPlan};
+use crate::heap::{grow_target, header_len, header_type, ClosureScan, Heap, Word};
 use crate::inst::{BinOp, CmpOp, CodeProgram, PoolEntry, Reg, RepVmOp};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -19,10 +20,13 @@ use sxr_ir::rep::{roles, RepId, RepKind, RepRegistry};
 /// Tuning knobs for a [`Machine`].
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
-    /// Initial heap size in words (grows on demand).
+    /// Initial heap size in words (grows on demand, up to any cap the
+    /// fault plan imposes).
     pub heap_words: usize,
     /// Abort with [`VmErrorKind::Timeout`] after this many instructions.
     pub instruction_limit: Option<u64>,
+    /// Deterministic fault-injection schedule (defaults to none).
+    pub fault: FaultPlan,
 }
 
 impl Default for MachineConfig {
@@ -30,6 +34,7 @@ impl Default for MachineConfig {
         MachineConfig {
             heap_words: 1 << 20,
             instruction_limit: None,
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -82,6 +87,18 @@ pub struct Machine {
     ptr_table: [bool; 8],
     remaining: Option<u64>,
     role: RoleCache,
+    /// The fault-injection schedule in force for this machine.
+    fault: FaultPlan,
+    /// Hard heap capacity ceiling in words (`usize::MAX` when uncapped).
+    heap_cap: usize,
+    /// True when the plan perturbs GC timing (fast-path gate so fault-free
+    /// runs pay one boolean test per safe point).
+    chaos_gc: bool,
+    /// Jittered-schedule PRNG state, when seeded.
+    jitter: Option<ChaosRng>,
+    /// Total object allocations performed since load (never reset; the
+    /// ordinal stream `fail_alloc_at` indexes into).
+    alloc_seq: u64,
 }
 
 impl Machine {
@@ -138,11 +155,14 @@ impl Machine {
         let decoded = decode_program(&program, &registry, closure_tag, fixnum)?;
         let ptr_table = registry.pointer_pattern_table();
         let nglobals = program.nglobals;
+        let heap_cap = config.fault.effective_cap();
+        let chaos_gc = config.fault.perturbs_gc();
+        let jitter = config.fault.gc_jitter_seed.map(ChaosRng::new);
         let mut m = Machine {
             program: Rc::new(program),
             decoded,
             registry,
-            heap: Heap::new(config.heap_words),
+            heap: Heap::new(config.heap_words.min(heap_cap)),
             globals: vec![role.unspec_word; nglobals],
             pool: Vec::new(),
             interned: HashMap::new(),
@@ -153,6 +173,11 @@ impl Machine {
             ptr_table,
             remaining: config.instruction_limit,
             role,
+            fault: config.fault,
+            heap_cap,
+            chaos_gc,
+            jitter,
+            alloc_seq: 0,
         };
         m.build_pool()?;
         Ok(m)
@@ -170,8 +195,13 @@ impl Machine {
             };
         }
         if self.heap.needs_gc(need) {
-            self.heap
-                .grow_to(grow_target(self.heap.used(), need, self.heap.capacity()));
+            let target = grow_target(self.heap.used(), need, self.heap.capacity());
+            self.heap.grow_to(target.min(self.heap_cap));
+            if self.heap.needs_gc(need) {
+                // Nothing on the heap is garbage at load time, so a capped
+                // heap that cannot hold the pool is simply too small.
+                return Err(VmError::oom(need, self.heap.capacity(), OomPhase::Alloc));
+            }
         }
         for e in &prog.pool {
             let w = match e {
@@ -221,17 +251,21 @@ impl Machine {
         self.role.fixnum
     }
 
-    pub(crate) fn interned_lookup(&self, s: &str) -> Option<Word> {
-        self.interned.get(s).copied()
-    }
-
     /// Allocates, collecting or growing first if needed. `fill` must be a
     /// valid tagged word.
+    ///
+    /// Fault-injected collections never fire here: this is *inside* an
+    /// allocation, where callers may hold derived words (an encoded child,
+    /// a frame under construction) that are not yet GC roots.  Chaos
+    /// schedules perturb only the designated safe points
+    /// ([`Machine::ensure_space`]).
     ///
     /// # Errors
     ///
     /// Propagates collection failures (heap corruption surfaced by the
-    /// checked forwarder).
+    /// checked forwarder), and raises [`VmErrorKind::OutOfMemory`] when the
+    /// request cannot be satisfied under the fault plan's capacity cap or
+    /// the plan fails this allocation by schedule.
     pub(crate) fn alloc_object(
         &mut self,
         len: usize,
@@ -239,14 +273,38 @@ impl Machine {
         tag: u64,
         fill: Word,
     ) -> Result<Word, VmError> {
-        self.ensure_space(len + 1)?;
+        self.alloc_seq += 1;
+        if self.fault.fail_alloc_at == Some(self.alloc_seq) {
+            return Err(VmError::oom(len + 1, self.heap.capacity(), OomPhase::Alloc));
+        }
+        self.ensure_space_quiet(len + 1)?;
         self.counters.allocated_words += len as u64 + 1;
         self.counters.allocated_objects += 1;
         let idx = self.heap.alloc(len, type_id, fill);
         Ok(((idx as i64) << 3) | tag as i64)
     }
 
+    /// A GC-safe point reserving `words` of heap.  Every register, global,
+    /// pool slot, and interned symbol is a root here, so the fault plan is
+    /// free to force a collection; afterwards the normal reservation logic
+    /// runs.  Once this returns, allocations totalling `words` are
+    /// guaranteed not to collect (callers rely on that to keep not-yet-
+    /// rooted intermediate values alive across multi-object builds).
     fn ensure_space(&mut self, words: usize) -> Result<(), VmError> {
+        if self.chaos_gc {
+            let force =
+                self.fault.gc_every_alloc || self.jitter.as_mut().is_some_and(ChaosRng::force_gc);
+            if force {
+                self.counters.gc_forced += 1;
+                self.collect()?;
+            }
+        }
+        self.ensure_space_quiet(words)
+    }
+
+    /// The reservation logic alone, with no fault hooks: collect when the
+    /// request does not fit, grow when the collection left the heap tight.
+    fn ensure_space_quiet(&mut self, words: usize) -> Result<(), VmError> {
         if !self.heap.needs_gc(words.saturating_sub(1)) {
             return Ok(());
         }
@@ -256,12 +314,22 @@ impl Machine {
         // (so the next collection would come almost immediately).  The
         // target is strictly larger than the current capacity — see
         // [`grow_target`] — which keeps the decision monotone and
-        // thrash-free under high live-data residency.
+        // thrash-free under high live-data residency.  A capacity cap
+        // clamps the target; a request the capped heap cannot satisfy is a
+        // structured out-of-memory error, never a panic.
         if self.heap.needs_gc(words.saturating_sub(1))
             || self.heap.used() * 2 > self.heap.capacity()
         {
             let target = grow_target(self.heap.used(), words, self.heap.capacity());
-            self.heap.grow_to(target);
+            self.heap.grow_to(target.min(self.heap_cap));
+        }
+        if self.heap.needs_gc(words.saturating_sub(1)) {
+            let phase = if words > self.heap_cap {
+                OomPhase::Alloc // could never fit, even in an empty heap
+            } else {
+                OomPhase::Collect // collection reclaimed too little
+            };
+            return Err(VmError::oom(words, self.heap.capacity(), phase));
         }
         Ok(())
     }
@@ -296,9 +364,34 @@ impl Machine {
         for w in self.interned.values_mut() {
             *w = self.heap.forward(&mut from, *w, &pt)?;
         }
-        self.heap.scan_from(0, &mut from, &pt)?;
+        // Closures are mixed-representation objects: free slots the code
+        // generator proved raw must not be treated as pointers.
+        let RepKind::Immediate { shift, .. } = self.registry.info(self.role.fixnum).kind else {
+            unreachable!("fixnum role validated as immediate at load");
+        };
+        let cs = ClosureScan {
+            type_id: self.role.closure as u16,
+            code_shift: shift,
+            funs: &prog.funs,
+        };
+        self.heap.scan_from_precise(0, &mut from, &pt, Some(&cs))?;
+        self.heap.end_gc(from);
         self.counters.gc_copied_words += self.heap.used() as u64;
         Ok(())
+    }
+
+    /// Total object allocations performed since load, pool construction
+    /// included.  Unlike [`Counters::allocated_objects`] this is never
+    /// reset, so it is the ordinal stream that
+    /// [`FaultPlan::fail_alloc_at`] indexes into — chaos harnesses use it
+    /// to derive schedules from a fault-free run.
+    pub fn allocations(&self) -> u64 {
+        self.alloc_seq
+    }
+
+    /// The fault plan this machine runs under.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault
     }
 
     fn r(&self, reg: Reg) -> Word {
@@ -807,11 +900,43 @@ impl Machine {
         Ok(s)
     }
 
+    /// Interns the symbol named by the string at `string_ptr` (the runtime
+    /// `Intern` instruction).  The name is copied out of the heap before the
+    /// reservation, so the safe point below is a real one: every value the
+    /// rest of this function touches is either a root or allocated inside
+    /// the reservation.
     pub(crate) fn intern_value(&mut self, string_ptr: Word) -> Result<Word, VmError> {
         let name = self.string_content(string_ptr)?;
         if let Some(w) = self.interned.get(&name) {
             return Ok(*w);
         }
+        // Reserve the name string and the symbol cell together: the freshly
+        // encoded string in `intern_reserved` is not a GC root, so no
+        // collection may run between encoding it and installing it in the
+        // interned table (via the symbol, which is a root).
+        self.ensure_space(1 + name.chars().count() + 2)?;
+        self.intern_reserved(name)
+    }
+
+    /// Load-time interning for quoted symbols.  Deliberately *quiet*: the
+    /// constant encoder holds partially built structure (list tails, vector
+    /// elements) in Rust locals that are not GC roots, so no collection —
+    /// fault-forced or otherwise — may run during pool construction.
+    /// [`Machine::build_pool`]'s up-front reservation (which budgets
+    /// `1 + chars + 2` words per fresh symbol, see
+    /// [`encode::words_needed`]) guarantees the quiet reserve never
+    /// collects here.
+    pub(crate) fn intern_loaded(&mut self, name: &str) -> Result<Word, VmError> {
+        if let Some(w) = self.interned.get(name) {
+            return Ok(*w);
+        }
+        self.ensure_space_quiet(1 + name.chars().count() + 2)?;
+        self.intern_reserved(name.to_string())
+    }
+
+    /// Shared tail of the interning paths.  Space for the name string and
+    /// the symbol cell must already be reserved.
+    fn intern_reserved(&mut self, name: String) -> Result<Word, VmError> {
         let symrep = self
             .registry
             .role(roles::SYMBOL)
@@ -822,9 +947,6 @@ impl Machine {
                 "`symbol` role must be a pointer",
             ));
         };
-        // The string argument may move if allocation collects; re-derive it
-        // afterwards via the interned name (we copy the name into the new
-        // string below to stay simple and GC-safe).
         let fresh = encode::encode_string(self, &name)?;
         let w = self.alloc_object(1, symrep as u16, tag, fresh)?;
         self.interned.insert(name, w);

@@ -1,0 +1,436 @@
+//! Error-taxonomy tests: every [`VmErrorKind`] variant is constructible,
+//! carries a stable unique label, and — where the machine can be driven to
+//! it — actually comes out of execution as a structured, recoverable error
+//! rather than a panic.  The out-of-memory variants additionally
+//! distinguish a request that could never fit ([`OomPhase::Alloc`]) from a
+//! collection that ran and reclaimed too little ([`OomPhase::Collect`]).
+
+use sxr_ir::rep::RepRegistry;
+use sxr_vm::{
+    BinOp, CodeFun, CodeProgram, FaultPlan, Inst, Machine, MachineConfig, OomPhase, RegImm,
+    VmError, VmErrorKind,
+};
+
+/// The classic tagging scheme, built the way a library would.
+struct Reg {
+    reg: RepRegistry,
+    fx: u32,
+    pair: u32,
+}
+
+fn classic_registry() -> Reg {
+    let mut reg = RepRegistry::new();
+    let fx = reg.intern_immediate("fixnum", 3, 0, 3).unwrap();
+    let bo = reg.intern_immediate("boolean", 8, 0b0000_0010, 8).unwrap();
+    let un = reg
+        .intern_immediate("unspecified", 8, 0b0011_0010, 8)
+        .unwrap();
+    let pair = reg.intern_pointer("pair", 0b001, false).unwrap();
+    let clo = reg.intern_pointer("closure", 0b111, false).unwrap();
+    for (role, id) in [
+        ("fixnum", fx),
+        ("boolean", bo),
+        ("unspecified", un),
+        ("pair", pair),
+        ("closure", clo),
+    ] {
+        reg.provide_role(role, id).unwrap();
+    }
+    Reg { reg, fx, pair }
+}
+
+fn fun(name: &str, arity: usize, nregs: usize, insts: Vec<Inst>) -> CodeFun {
+    CodeFun {
+        name: name.into(),
+        arity,
+        variadic: false,
+        nregs,
+        free_count: 0,
+        insts,
+        ptr_map: vec![true; nregs],
+        free_ptr_map: vec![],
+    }
+}
+
+fn program(reg: RepRegistry, funs: Vec<CodeFun>) -> CodeProgram {
+    CodeProgram {
+        funs,
+        main: 0,
+        pool: vec![],
+        nglobals: 1,
+        global_names: vec!["g0".into()],
+        registry: reg,
+    }
+}
+
+/// Runs `main` under `config` and returns the error it must produce.
+fn run_expecting_error(reg: RepRegistry, funs: Vec<CodeFun>, config: MachineConfig) -> VmError {
+    let mut m = Machine::new(program(reg, funs), config).unwrap();
+    m.run().expect_err("program is built to fail")
+}
+
+#[test]
+fn every_kind_is_constructible_with_stable_unique_labels() {
+    let kinds = vec![
+        VmErrorKind::NotAProcedure,
+        VmErrorKind::ArityMismatch,
+        VmErrorKind::BadMemoryAccess,
+        VmErrorKind::DivideByZero,
+        VmErrorKind::BadRepOperation,
+        VmErrorKind::SchemeError,
+        VmErrorKind::BadProgram,
+        VmErrorKind::Timeout,
+        VmErrorKind::OutOfMemory {
+            requested: 16,
+            capacity: 8,
+            phase: OomPhase::Alloc,
+        },
+    ];
+    let labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+    let mut unique = labels.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), labels.len(), "labels are unique per kind");
+    for k in &kinds {
+        assert_eq!(k.is_oom(), k.label() == "out-of-memory");
+        let e = VmError::new(k.clone(), "detail");
+        assert_eq!(&e.kind, k, "construction round-trips the kind");
+    }
+}
+
+#[test]
+fn calling_a_fixnum_is_not_a_procedure() {
+    let r = classic_registry();
+    let enc = r.reg.encode_immediate(r.fx, 5);
+    let main = fun(
+        "main",
+        0,
+        3,
+        vec![
+            Inst::Const { d: 1, imm: enc },
+            Inst::Call {
+                d: 2,
+                f: 1,
+                args: vec![],
+            },
+            Inst::Ret { s: 2 },
+        ],
+    );
+    let e = run_expecting_error(r.reg, vec![main], MachineConfig::default());
+    assert_eq!(e.kind, VmErrorKind::NotAProcedure);
+}
+
+#[test]
+fn wrong_argument_count_is_arity_mismatch() {
+    let r = classic_registry();
+    let callee = fun("one-arg", 1, 3, vec![Inst::Ret { s: 1 }]);
+    let main = fun(
+        "main",
+        0,
+        3,
+        vec![
+            Inst::MakeClosure {
+                d: 1,
+                f: 1,
+                free: vec![],
+            },
+            Inst::Call {
+                d: 2,
+                f: 1,
+                args: vec![],
+            },
+            Inst::Ret { s: 2 },
+        ],
+    );
+    let e = run_expecting_error(r.reg, vec![main, callee], MachineConfig::default());
+    assert_eq!(e.kind, VmErrorKind::ArityMismatch);
+    assert!(e.to_string().contains("one-arg"), "error names the callee");
+}
+
+#[test]
+fn quotient_by_zero_is_divide_by_zero() {
+    let r = classic_registry();
+    let enc = r.reg.encode_immediate(r.fx, 6);
+    let main = fun(
+        "main",
+        0,
+        4,
+        vec![
+            Inst::Const { d: 1, imm: enc },
+            Inst::Const { d: 2, imm: 0 },
+            Inst::Bin {
+                op: BinOp::Quot,
+                d: 3,
+                a: 1,
+                b: 2,
+            },
+            Inst::Ret { s: 3 },
+        ],
+    );
+    let e = run_expecting_error(r.reg, vec![main], MachineConfig::default());
+    assert_eq!(e.kind, VmErrorKind::DivideByZero);
+}
+
+#[test]
+fn load_through_garbage_pointer_is_bad_memory_access() {
+    let r = classic_registry();
+    let main = fun(
+        "main",
+        0,
+        3,
+        vec![
+            // A "pair-tagged" word far outside the heap.
+            Inst::Const {
+                d: 1,
+                imm: (1_i64 << 40) | 0b001,
+            },
+            Inst::LoadD {
+                d: 2,
+                p: 1,
+                disp: 8 - 0b001,
+            },
+            Inst::Ret { s: 2 },
+        ],
+    );
+    let e = run_expecting_error(r.reg, vec![main], MachineConfig::default());
+    assert_eq!(e.kind, VmErrorKind::BadMemoryAccess);
+}
+
+#[test]
+fn negative_dynamic_allocation_length_is_bad_rep_operation() {
+    let r = classic_registry();
+    let enc = r.reg.encode_immediate(r.fx, -1);
+    let pair = r.pair;
+    let main = fun(
+        "main",
+        0,
+        3,
+        vec![
+            Inst::Const { d: 1, imm: enc },
+            Inst::AllocFill {
+                d: 2,
+                len: RegImm::Reg(1),
+                fill: 1,
+                rep: pair,
+            },
+            Inst::Ret { s: 2 },
+        ],
+    );
+    let e = run_expecting_error(r.reg, vec![main], MachineConfig::default());
+    assert_eq!(e.kind, VmErrorKind::BadRepOperation);
+}
+
+#[test]
+fn error_op_is_scheme_error() {
+    let r = classic_registry();
+    let enc = r.reg.encode_immediate(r.fx, 99);
+    let main = fun(
+        "main",
+        0,
+        2,
+        vec![Inst::Const { d: 1, imm: enc }, Inst::ErrorOp { s: 1 }],
+    );
+    let e = run_expecting_error(r.reg, vec![main], MachineConfig::default());
+    assert_eq!(e.kind, VmErrorKind::SchemeError);
+    assert!(e.to_string().contains("99"), "error carries the value");
+}
+
+#[test]
+fn missing_required_role_is_bad_program() {
+    // A registry with no `closure` role cannot load any program.
+    let mut reg = RepRegistry::new();
+    let fx = reg.intern_immediate("fixnum", 3, 0, 3).unwrap();
+    let bo = reg.intern_immediate("boolean", 8, 0b010, 8).unwrap();
+    let un = reg
+        .intern_immediate("unspecified", 8, 0b0001_0010, 8)
+        .unwrap();
+    for (role, id) in [("fixnum", fx), ("boolean", bo), ("unspecified", un)] {
+        reg.provide_role(role, id).unwrap();
+    }
+    let main = fun("main", 0, 2, vec![Inst::Ret { s: 0 }]);
+    let e = Machine::new(program(reg, vec![main]), MachineConfig::default())
+        .expect_err("load must fail");
+    assert_eq!(e.kind, VmErrorKind::BadProgram);
+    assert!(e.to_string().contains("closure"), "names the missing role");
+}
+
+#[test]
+fn instruction_budget_exhaustion_is_timeout() {
+    let r = classic_registry();
+    let main = fun("main", 0, 2, vec![Inst::Jump { t: 0 }]);
+    let e = run_expecting_error(
+        r.reg,
+        vec![main],
+        MachineConfig {
+            instruction_limit: Some(1000),
+            ..Default::default()
+        },
+    );
+    assert_eq!(e.kind, VmErrorKind::Timeout);
+}
+
+/// A main that loops forever allocating pairs, each keeping the previous
+/// one alive through its fields — live data grows until the cap is hit.
+fn allocating_loop(r: &Reg) -> CodeFun {
+    let enc = r.reg.encode_immediate(r.fx, 0);
+    let pair = r.pair;
+    fun(
+        "main",
+        0,
+        3,
+        vec![
+            Inst::Const { d: 1, imm: enc },
+            Inst::AllocFill {
+                d: 2,
+                len: RegImm::Imm(2),
+                fill: 1,
+                rep: pair,
+            },
+            Inst::Move { d: 1, s: 2 },
+            Inst::Jump { t: 1 },
+        ],
+    )
+}
+
+#[test]
+fn oom_during_collect_when_live_data_fills_a_capped_heap() {
+    let r = classic_registry();
+    let main = allocating_loop(&r);
+    let e = run_expecting_error(
+        r.reg,
+        vec![main],
+        MachineConfig {
+            fault: FaultPlan::none().with_heap_cap_words(256),
+            ..Default::default()
+        },
+    );
+    let VmErrorKind::OutOfMemory {
+        requested,
+        capacity,
+        phase,
+    } = e.kind
+    else {
+        panic!("expected OutOfMemory, got {e}");
+    };
+    assert_eq!(phase, OomPhase::Collect, "a collection ran first");
+    assert!(capacity <= 256, "capacity respects the cap");
+    assert!(requested <= capacity, "the request alone would have fit");
+}
+
+#[test]
+fn oom_during_alloc_when_one_request_exceeds_the_cap() {
+    let r = classic_registry();
+    let enc = r.reg.encode_immediate(r.fx, 0);
+    let pair = r.pair;
+    let main = fun(
+        "main",
+        0,
+        3,
+        vec![
+            Inst::Const { d: 1, imm: enc },
+            Inst::AllocFill {
+                d: 2,
+                len: RegImm::Imm(100_000),
+                fill: 1,
+                rep: pair,
+            },
+            Inst::Ret { s: 2 },
+        ],
+    );
+    let e = run_expecting_error(
+        r.reg,
+        vec![main],
+        MachineConfig {
+            fault: FaultPlan::none().with_heap_cap_words(256),
+            ..Default::default()
+        },
+    );
+    let VmErrorKind::OutOfMemory {
+        requested, phase, ..
+    } = e.kind
+    else {
+        panic!("expected OutOfMemory, got {e}");
+    };
+    assert_eq!(phase, OomPhase::Alloc, "the request could never fit");
+    assert!(requested > 256, "requested words reflect the request");
+}
+
+#[test]
+fn oom_phases_are_distinguishable_but_share_a_label() {
+    let a = VmError::oom(100, 64, OomPhase::Alloc);
+    let c = VmError::oom(8, 64, OomPhase::Collect);
+    assert_ne!(a.kind, c.kind);
+    assert_eq!(a.kind.label(), c.kind.label());
+    assert!(a.is_oom() && c.is_oom());
+}
+
+#[test]
+fn fail_alloc_at_fails_the_exact_ordinal() {
+    let r = classic_registry();
+    // Count the fault-free run's allocations first.
+    let total = {
+        let mut m = Machine::new(
+            program(r.reg.clone(), vec![allocating_loop(&r)]),
+            MachineConfig {
+                instruction_limit: Some(100),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let _ = m.run().expect_err("loop times out");
+        m.allocations()
+    };
+    assert!(total > 3, "the loop allocates");
+    // Failing ordinal n stops the machine with exactly n-1 allocations done
+    // and a structured alloc-phase OOM.
+    for n in [1, 2, total] {
+        let mut m = Machine::new(
+            program(r.reg.clone(), vec![allocating_loop(&r)]),
+            MachineConfig {
+                instruction_limit: Some(100),
+                fault: FaultPlan::none().with_fail_alloc_at(n),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let e = m.run().expect_err("scheduled allocation failure");
+        assert!(e.is_oom(), "fault surfaces as OOM, got {e}");
+        // The failed attempt is itself ordinal `n`, so the stream stops
+        // exactly there, with n-1 objects actually created.
+        assert_eq!(m.allocations(), n, "the fault consumed ordinal n");
+        assert_eq!(
+            m.counters.allocated_objects,
+            n - 1,
+            "objects completed before the fault"
+        );
+    }
+}
+
+#[test]
+fn identical_plans_give_identical_outcomes() {
+    let r = classic_registry();
+    let run = |plan: FaultPlan| {
+        let mut m = Machine::new(
+            program(r.reg.clone(), vec![allocating_loop(&r)]),
+            MachineConfig {
+                instruction_limit: Some(500),
+                fault: plan,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let res = m.run().map(|w| m.describe(w)).map_err(|e| e.to_string());
+        (res, m.allocations(), m.counters.gc_count)
+    };
+    for plan in [
+        FaultPlan::none()
+            .with_gc_every_alloc()
+            .with_heap_cap_words(512),
+        FaultPlan::none().with_gc_jitter_seed(0xC0FFEE),
+        FaultPlan::none().with_fail_alloc_at(7),
+    ] {
+        let a = run(plan.clone());
+        let b = run(plan.clone());
+        assert_eq!(a, b, "plan {plan:?} replays identically");
+    }
+}

@@ -58,6 +58,7 @@ fn fun(name: &str, arity: usize, nregs: usize, insts: Vec<Inst>) -> CodeFun {
         free_count: 0,
         insts,
         ptr_map: vec![true; nregs],
+        free_ptr_map: vec![],
     }
 }
 
@@ -173,6 +174,7 @@ fn calls_closures_and_globals() {
             Inst::Ret { s: 3 },
         ],
         ptr_map: vec![true; 4],
+        free_ptr_map: vec![],
     };
     let main = fun(
         "main",
@@ -242,6 +244,7 @@ fn tail_call_does_not_grow_stack() {
             },
         ],
         ptr_map: vec![true, true, true],
+        free_ptr_map: vec![],
     };
     let main = fun(
         "main",
@@ -361,6 +364,7 @@ fn allocation_load_store_and_gc_survival() {
         MachineConfig {
             heap_words: 4096,
             instruction_limit: None,
+            fault: Default::default(),
         },
     )
     .unwrap();
@@ -619,6 +623,7 @@ fn instruction_limit_timeout() {
         MachineConfig {
             heap_words: 1 << 12,
             instruction_limit: Some(10_000),
+            fault: Default::default(),
         },
     )
     .unwrap();
@@ -697,6 +702,7 @@ fn variadic_calls_build_rest_lists() {
         free_count: 0,
         insts: vec![Inst::Ret { s: 2 }],
         ptr_map: vec![true; 3],
+        free_ptr_map: vec![],
     };
     let main = fun(
         "main",
@@ -743,6 +749,7 @@ fn variadic_with_exact_arity_gets_empty_rest() {
         free_count: 0,
         insts: vec![Inst::Ret { s: 2 }],
         ptr_map: vec![true; 3],
+        free_ptr_map: vec![],
     };
     let main = fun(
         "main",
@@ -786,6 +793,7 @@ fn variadic_too_few_args_is_arity_error() {
         free_count: 0,
         insts: vec![Inst::Ret { s: 1 }],
         ptr_map: vec![true; 4],
+        free_ptr_map: vec![],
     };
     let main = fun(
         "main",
@@ -896,6 +904,7 @@ fn timeout_at_exact_budget() {
         MachineConfig {
             heap_words: 1 << 12,
             instruction_limit: Some(3),
+            fault: Default::default(),
         },
     )
     .unwrap();
@@ -912,6 +921,7 @@ fn timeout_at_exact_budget() {
         MachineConfig {
             heap_words: 1 << 12,
             instruction_limit: Some(2),
+            fault: Default::default(),
         },
     )
     .unwrap();
@@ -936,6 +946,7 @@ fn reset_counters_consumes_budget() {
         MachineConfig {
             heap_words: 1 << 12,
             instruction_limit: Some(3),
+            fault: Default::default(),
         },
     )
     .unwrap();
@@ -950,6 +961,7 @@ fn reset_counters_consumes_budget() {
         MachineConfig {
             heap_words: 1 << 12,
             instruction_limit: Some(2),
+            fault: Default::default(),
         },
     )
     .unwrap();
@@ -1039,6 +1051,7 @@ fn gc_grow_policy_does_not_thrash_at_high_residency() {
         MachineConfig {
             heap_words: 4096,
             instruction_limit: None,
+            fault: Default::default(),
         },
     )
     .unwrap();
@@ -1164,6 +1177,7 @@ fn gc_stress_deep_live_list_survives_churn() {
         MachineConfig {
             heap_words: 2048,
             instruction_limit: None,
+            fault: Default::default(),
         },
     )
     .unwrap();
@@ -1236,6 +1250,7 @@ fn heap_grows_transparently() {
         MachineConfig {
             heap_words: 1 << 10,
             instruction_limit: None,
+            fault: Default::default(),
         },
     )
     .unwrap();

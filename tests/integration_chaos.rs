@@ -1,0 +1,195 @@
+//! Chaos battery: the benchmark corpus, compiled under all three pipeline
+//! configurations, run under deterministic fault schedules.
+//!
+//! The contract (see `sxr_vm::FaultPlan`): under *any* plan the machine
+//! either reproduces the fault-free oracle's observable behaviour exactly
+//! or fails with a structured, recoverable out-of-memory error.  A panic, a
+//! corrupted value, or divergent output under any schedule is a GC or
+//! pointer-map bug.
+//!
+//! Debug builds run a trimmed sweep (the release `chaos_vm` binary and the
+//! CI `chaos-smoke` job run the full one); set `SXR_CHAOS_FULL=1` to force
+//! the full sweep here.
+
+use std::sync::OnceLock;
+use sxr::report::ChaosOutcome;
+use sxr::FaultPlan;
+use sxr_bench::{chaos_targets, run_chaos, ChaosTarget};
+
+const HEAP_WORDS: usize = 1 << 14;
+
+/// The corpus compiled once, shared by every test in this binary.
+fn targets() -> &'static [ChaosTarget] {
+    static TARGETS: OnceLock<Vec<ChaosTarget>> = OnceLock::new();
+    TARGETS.get_or_init(|| chaos_targets(HEAP_WORDS))
+}
+
+fn full_sweep() -> bool {
+    !cfg!(debug_assertions) || std::env::var("SXR_CHAOS_FULL").is_ok()
+}
+
+/// Targets for the expensive schedules: everything in a release build, a
+/// representative allocation-heavy subset in debug builds.
+fn expensive_targets(all: &[ChaosTarget]) -> Vec<&ChaosTarget> {
+    if full_sweep() {
+        all.iter().collect()
+    } else {
+        all.iter()
+            .filter(|t| matches!(t.name, "fib" | "nrev" | "deriv" | "boxes"))
+            .collect()
+    }
+}
+
+fn describe(t: &ChaosTarget, plan: &FaultPlan, outcome: &ChaosOutcome) -> String {
+    format!("{}/{} under {plan:?}: {outcome:?}", t.name, t.config)
+}
+
+/// Outcome must agree with the oracle — plans that only perturb GC timing
+/// (no memory cap) can never legitimately fail.
+fn assert_agrees(t: &ChaosTarget, plan: FaultPlan) {
+    let outcome = run_chaos(t, plan.clone());
+    assert!(
+        outcome == ChaosOutcome::Agrees,
+        "timing-only plan violated: {}",
+        describe(t, &plan, &outcome)
+    );
+}
+
+/// Outcome must agree or fail with a structured OOM — the two legitimate
+/// results for plans that constrain memory.
+fn assert_agrees_or_oom(t: &ChaosTarget, plan: FaultPlan) -> Option<&'static str> {
+    let outcome = run_chaos(t, plan.clone());
+    match &outcome {
+        ChaosOutcome::Agrees => None,
+        ChaosOutcome::Failed(e) if e.is_oom() => Some(e.kind.label()),
+        _ => panic!("memory plan violated: {}", describe(t, &plan, &outcome)),
+    }
+}
+
+#[test]
+fn gc_every_alloc_preserves_observable_behaviour() {
+    // The suite's headline acceptance check, so it always covers the full
+    // corpus in every configuration — no debug-build trimming here.
+    for t in targets() {
+        assert_agrees(t, FaultPlan::none().with_gc_every_alloc());
+    }
+}
+
+#[test]
+fn jittered_gc_schedules_preserve_observable_behaviour() {
+    let targets = targets();
+    let seeds: &[u64] = if full_sweep() {
+        &[1, 7, 0xDEAD_BEEF]
+    } else {
+        &[1, 0xDEAD_BEEF]
+    };
+    for t in targets {
+        for &seed in seeds {
+            assert_agrees(t, FaultPlan::none().with_gc_jitter_seed(seed));
+        }
+    }
+}
+
+#[test]
+fn scheduled_allocation_failures_are_structured_oom_in_every_config() {
+    let targets = targets();
+    // Every target fails at ordinals scaled to its *own* fault-free
+    // allocation profile, so each configuration is hit at comparable
+    // program phases: pool build, early run, mid run, last allocation.
+    for t in targets {
+        let n = t.total_allocs;
+        assert!(n > 0, "{}/{}: corpus programs allocate", t.name, t.config);
+        let mut labels = Vec::new();
+        for at in [1, 2, n / 2, n] {
+            let at = at.max(1);
+            let plan = FaultPlan::none().with_fail_alloc_at(at);
+            let outcome = run_chaos(t, plan.clone());
+            match outcome {
+                ChaosOutcome::Failed(e) if e.is_oom() => labels.push(e.kind.label()),
+                other => panic!(
+                    "scheduled fault must surface as OOM: {}",
+                    describe(t, &plan, &other)
+                ),
+            }
+        }
+        // Cross-schedule agreement on the error class.
+        assert!(
+            labels.iter().all(|l| *l == "out-of-memory"),
+            "{}/{}: labels {labels:?}",
+            t.name,
+            t.config
+        );
+        // An ordinal past the end of the stream never fires.
+        assert_agrees(t, FaultPlan::none().with_fail_alloc_at(n + 1_000_000));
+    }
+}
+
+#[test]
+fn tight_heap_caps_agree_or_fail_cleanly() {
+    let targets = targets();
+    let caps: &[usize] = if full_sweep() {
+        &[256, 1 << 12, 1 << 16]
+    } else {
+        &[256, 1 << 16]
+    };
+    for t in expensive_targets(targets) {
+        for &cap in caps {
+            assert_agrees_or_oom(t, FaultPlan::none().with_heap_cap_words(cap));
+        }
+    }
+}
+
+#[test]
+fn combined_pressure_gc_every_alloc_under_a_cap() {
+    let targets = targets();
+    for t in expensive_targets(targets) {
+        assert_agrees_or_oom(
+            t,
+            FaultPlan::none()
+                .with_gc_every_alloc()
+                .with_heap_cap_words(1 << 15),
+        );
+    }
+}
+
+#[test]
+fn error_class_agrees_across_configurations() {
+    // Failing each configuration at its own first post-pool allocation
+    // must produce the same error class everywhere, keeping faulted runs
+    // differentially comparable.
+    let targets = targets();
+    for chunk in targets.chunks(3) {
+        let labels: Vec<Option<&str>> = chunk
+            .iter()
+            .map(|t| assert_agrees_or_oom(t, FaultPlan::none().with_fail_alloc_at(t.total_allocs)))
+            .collect();
+        assert!(
+            labels.windows(2).all(|w| w[0] == w[1]),
+            "{}: error classes diverged across configs: {labels:?}",
+            chunk[0].name
+        );
+    }
+}
+
+#[test]
+fn chaos_runs_are_deterministic() {
+    let targets = targets();
+    let plans = [
+        FaultPlan::none().with_gc_jitter_seed(42),
+        FaultPlan::none()
+            .with_heap_cap_words(1 << 12)
+            .with_gc_jitter_seed(9),
+    ];
+    for t in expensive_targets(targets).into_iter().take(4) {
+        for plan in &plans {
+            let a = run_chaos(t, plan.clone());
+            let b = run_chaos(t, plan.clone());
+            assert!(
+                a == b,
+                "{}/{} under {plan:?}: {a:?} vs {b:?}",
+                t.name,
+                t.config
+            );
+        }
+    }
+}

@@ -7,9 +7,19 @@
 //! Generation is driven by a small deterministic in-tree PRNG (the build
 //! environment has no network access for external property-testing crates);
 //! failures print the seed and the offending program so a case can be
-//! replayed by fixing `SEED`.
+//! replayed exactly:
+//!
+//! ```text
+//! SXR_FUZZ_SEED=<seed> SXR_FUZZ_ITERS=<n> cargo test --test proptest_differential
+//! ```
+//!
+//! Every case also re-runs under the GC-on-every-allocation fault schedule
+//! ([`FaultPlan::with_gc_every_alloc`]): the generated programs allocate
+//! (pairs, vectors, closures), so forcing a collection at every safe point
+//! shakes out missing-root and stale-pointer bugs that normal GC timing
+//! almost never reaches.
 
-use sxr::{Compiler, PipelineConfig};
+use sxr::{Compiler, FaultPlan, PipelineConfig};
 
 /// Deterministic xorshift64* PRNG — the sequence is fixed per seed, so every
 /// CI run tests the same programs and failures reproduce exactly.
@@ -63,6 +73,17 @@ enum IntExpr {
     VecRef(Vec<IntExpr>, usize),
     CharRound(Box<IntExpr>),
     Apply1(Box<IntExpr>), // ((lambda (x) (fx+ x 1)) e)
+    // Heap-allocating forms: these make the gc-every-alloc re-run bite.
+    CdrCons(Box<IntExpr>, Box<IntExpr>),
+    // let-bound vector, mutated then read back: exercises vector-set!
+    // against a vector that survives allocations (and forced GCs).
+    VecSet(Vec<IntExpr>, usize, Box<IntExpr>, usize),
+    // let-bound closure applied twice: the closure cell itself lives on
+    // the heap across the argument evaluations.
+    LetLambda(Box<IntExpr>, Box<IntExpr>, Box<IntExpr>),
+    // length/append/reverse churn: builds short lists whose spines must
+    // survive the allocations of the later ones.
+    ListChurn(Vec<IntExpr>, Vec<IntExpr>),
 }
 
 #[derive(Debug, Clone)]
@@ -86,7 +107,7 @@ fn gen_int(rng: &mut Rng, fuel: usize) -> IntExpr {
         };
     }
     let f = fuel - 1;
-    match rng.below(14) {
+    match rng.below(18) {
         0 => IntExpr::Lit(rng.i32_in(-1000, 1000)),
         1 => IntExpr::Var(rng.below(4)),
         2 => IntExpr::Add(Box::new(gen_int(rng, f)), Box::new(gen_int(rng, f))),
@@ -107,7 +128,23 @@ fn gen_int(rng: &mut Rng, fuel: usize) -> IntExpr {
             rng.below(64),
         ),
         12 => IntExpr::CharRound(Box::new(gen_int(rng, f))),
-        _ => IntExpr::Apply1(Box::new(gen_int(rng, f))),
+        13 => IntExpr::Apply1(Box::new(gen_int(rng, f))),
+        14 => IntExpr::CdrCons(Box::new(gen_int(rng, f)), Box::new(gen_int(rng, f))),
+        15 => IntExpr::VecSet(
+            (0..1 + rng.below(3)).map(|_| gen_int(rng, f)).collect(),
+            rng.below(64),
+            Box::new(gen_int(rng, f)),
+            rng.below(64),
+        ),
+        16 => IntExpr::LetLambda(
+            Box::new(gen_int(rng, f)),
+            Box::new(gen_int(rng, f)),
+            Box::new(gen_int(rng, f)),
+        ),
+        _ => IntExpr::ListChurn(
+            (0..rng.below(3)).map(|_| gen_int(rng, f)).collect(),
+            (0..rng.below(3)).map(|_| gen_int(rng, f)).collect(),
+        ),
     }
 }
 
@@ -195,6 +232,49 @@ fn render_int(e: &IntExpr, depth: usize, out: &mut String) {
             render_int(a, depth, out);
             out.push(')');
         }
+        IntExpr::CdrCons(a, b) => {
+            out.push_str("(cdr (cons ");
+            render_int(a, depth, out);
+            out.push(' ');
+            render_int(b, depth, out);
+            out.push_str("))");
+        }
+        IntExpr::VecSet(items, i, val, j) => {
+            // (let ((w (list->vector (list ...))))
+            //   (begin (vector-set! w i val) (fx+ (vector-ref w i) (vector-ref w j))))
+            // Nested occurrences shadow `w`; inner uses bind to the inner
+            // vector, which is fine — both sides of the differential see
+            // the same program.
+            let i = if items.is_empty() { 0 } else { i % items.len() };
+            let j = if items.is_empty() { 0 } else { j % items.len() };
+            out.push_str("(let ((w (list->vector ");
+            render_list(items, depth, out);
+            out.push_str("))) (begin (vector-set! w ");
+            out.push_str(&i.to_string());
+            out.push(' ');
+            render_int(val, depth, out);
+            out.push_str(&format!(") (fx+ (vector-ref w {i}) (vector-ref w {j}))))"));
+        }
+        IntExpr::LetLambda(body, x, y) => {
+            // The lambda's parameter uses the next var slot, so `body` can
+            // reference it (and any outer binding) through Var.
+            out.push_str(&format!("(let ((g (lambda (v{depth}) "));
+            render_int(body, depth + 1, out);
+            out.push_str("))) (fx+ (g ");
+            render_int(x, depth, out);
+            out.push_str(") (g ");
+            render_int(y, depth, out);
+            out.push_str(")))");
+        }
+        IntExpr::ListChurn(xs, ys) => {
+            out.push_str("(fx+ (length (reverse ");
+            render_list(xs, depth, out);
+            out.push_str(")) (fold-left fx+ 0 (append ");
+            render_list(xs, depth, out);
+            out.push(' ');
+            render_list(ys, depth, out);
+            out.push_str(")))");
+        }
     }
 }
 
@@ -278,10 +358,38 @@ fn render_bool(e: &BoolExpr, depth: usize, out: &mut String) {
 const SEED: u64 = 0x5EED_5EED_5EED_5EED;
 const CASES: usize = 48;
 
+fn env_u64(name: &str) -> Option<u64> {
+    let v = std::env::var(name).ok()?;
+    match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => v.parse().ok(),
+    }
+}
+
+/// The seed in effect (`SXR_FUZZ_SEED` overrides the built-in default).
+fn fuzz_seed() -> u64 {
+    env_u64("SXR_FUZZ_SEED").unwrap_or(SEED)
+}
+
+/// Number of cases to run (`SXR_FUZZ_ITERS` overrides the default).
+fn fuzz_iters() -> usize {
+    env_u64("SXR_FUZZ_ITERS").map_or(CASES, |n| n as usize)
+}
+
+/// The repro line printed with every failure, so a failing case replays
+/// exactly regardless of where the defaults drift.
+fn repro(seed: u64, case: usize) -> String {
+    format!(
+        "replay: SXR_FUZZ_SEED={seed} SXR_FUZZ_ITERS={} cargo test --test proptest_differential",
+        case + 1
+    )
+}
+
 #[test]
 fn pipelines_agree_on_random_programs() {
-    let mut rng = Rng::new(SEED);
-    for case in 0..CASES {
+    let seed = fuzz_seed();
+    let mut rng = Rng::new(seed);
+    for case in 0..fuzz_iters() {
         let e = gen_int(&mut rng, 5);
         let mut src = String::from("(display ");
         render_int(&e, 0, &mut src);
@@ -295,9 +403,12 @@ fn pipelines_agree_on_random_programs() {
             ("Ablate(bits)", PipelineConfig::ablated("bits")),
             ("Ablate(repspec)", PipelineConfig::ablated("repspec")),
         ] {
-            let compiled = Compiler::new(cfg)
-                .compile(&src)
-                .unwrap_or_else(|err| panic!("[{label}] case {case} compile failed: {err}\n{src}"));
+            let compiled = Compiler::new(cfg).compile(&src).unwrap_or_else(|err| {
+                panic!(
+                    "[{label}] case {case} compile failed: {err}\n{src}\n{}",
+                    repro(seed, case)
+                )
+            });
             if label == "AbstractOpt" {
                 // Every random program also round-trips through the static
                 // analyzer: a provable rep misuse in generated well-typed
@@ -305,18 +416,44 @@ fn pipelines_agree_on_random_programs() {
                 let errors = compiled.analyze_errors();
                 assert!(
                     errors.is_empty(),
-                    "[{label}] case {case} analyzer flagged a well-typed program:\n{}\n{src}",
-                    errors.join("\n")
+                    "[{label}] case {case} analyzer flagged a well-typed program:\n{}\n{src}\n{}",
+                    errors.join("\n"),
+                    repro(seed, case)
                 );
             }
-            let out = compiled
-                .run()
-                .unwrap_or_else(|err| panic!("[{label}] case {case} run failed: {err}\n{src}"));
+            let out = compiled.run().unwrap_or_else(|err| {
+                panic!(
+                    "[{label}] case {case} run failed: {err}\n{src}\n{}",
+                    repro(seed, case)
+                )
+            });
+            // The same compilation must be bit-identical under the
+            // GC-on-every-allocation schedule: any difference is a
+            // missing-root or stale-pointer bug in the VM.
+            let chaotic = compiled
+                .run_with_fault(FaultPlan::none().with_gc_every_alloc())
+                .unwrap_or_else(|err| {
+                    panic!(
+                        "[{label}] case {case} failed under gc-every-alloc: {err}\n{src}\n{}",
+                        repro(seed, case)
+                    )
+                });
+            assert_eq!(
+                chaotic.output,
+                out.output,
+                "[{label}] case {case} diverged under gc-every-alloc:\n{src}\n{}",
+                repro(seed, case)
+            );
             results.push((label.to_string(), out.output));
         }
         let first = results[0].1.clone();
         for (label, o) in &results {
-            assert_eq!(o, &first, "{label} diverged on case {case}:\n{src}");
+            assert_eq!(
+                o,
+                &first,
+                "{label} diverged on case {case}:\n{src}\n{}",
+                repro(seed, case)
+            );
         }
     }
 }
