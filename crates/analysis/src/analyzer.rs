@@ -393,6 +393,12 @@ impl Analyzer<'_> {
             },
             WordAdd | WordSub | WordMul | WordQuot | WordRem | WordAnd | WordOr | WordXor
             | WordShl | WordShr | WordEq | WordLt | PtrEq => AbsVal::Raw(None),
+            // Trap machinery: `%trap-call` yields whatever the thunk (or
+            // the handler) returns, and `%raise` transfers control away —
+            // neither result can be narrowed below Top.  The handler and
+            // condition values cross an unwind, so no representation fact
+            // established inside the protected extent may survive it.
+            TrapCall | Raise => AbsVal::Top,
             _ => AbsVal::Top,
         }
     }
@@ -513,6 +519,30 @@ mod tests {
             e = Expr::Let(v, b, Box::new(e));
         }
         e
+    }
+
+    #[test]
+    fn trap_ops_analyze_as_top() {
+        let (reg, fx, _) = registry();
+        // `%trap-call`'s result may come from the thunk or the handler, so
+        // it is Top: projecting it is never flaggable, and neither trap op
+        // produces a diagnostic of its own.
+        let body = lets(
+            vec![
+                (
+                    10,
+                    Bound::Prim(PrimOp::TrapCall, vec![Atom::Var(1), Atom::Var(1)]),
+                ),
+                (
+                    11,
+                    Bound::Prim(PrimOp::RepProject, vec![rep(fx), Atom::Var(10)]),
+                ),
+                (12, Bound::Prim(PrimOp::Raise, vec![Atom::Var(10)])),
+            ],
+            11,
+        );
+        let diags = run(&reg, body);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]

@@ -64,6 +64,7 @@ const KEYWORDS: &[&str] = &[
     "else",
     "=>",
     "define-record-type",
+    "guard",
 ];
 
 /// Lexical environment: a chain of scopes.
@@ -403,9 +404,58 @@ impl Expander {
                 "define-record-type is only allowed at top level",
                 d,
             )),
+            "guard" => self.expand_guard(d, args, env),
             "else" | "=>" => Err(ExpandError::new("misplaced keyword", d)),
             _ => unreachable!("keyword list covers all cases"),
         }
+    }
+
+    /// `(guard (var clause ...) body ...)` — R7RS-style condition catch,
+    /// desugared onto the trap primitive:
+    ///
+    /// ```text
+    /// (%trap-call (lambda (var) (cond clause ... (else (%raise var))))
+    ///             (lambda () body ...))
+    /// ```
+    ///
+    /// The `else` arm is added only when the clauses lack one, so an
+    /// unmatched condition re-raises to the next enclosing handler.
+    fn expand_guard(
+        &mut self,
+        d: &Datum,
+        args: &[Datum],
+        env: &Env<'_>,
+    ) -> Result<Expr, ExpandError> {
+        let [spec, body @ ..] = args else {
+            return Err(ExpandError::new(
+                "guard needs a (var clause ...) spec and a body",
+                d,
+            ));
+        };
+        let Some(spec_items) = spec.as_list() else {
+            return Err(ExpandError::new("guard spec must be (var clause ...)", d));
+        };
+        let [Datum::Symbol(var), clauses @ ..] = spec_items else {
+            return Err(ExpandError::new("guard spec must start with a variable", d));
+        };
+        if body.is_empty() {
+            return Err(ExpandError::new("guard needs a body", d));
+        }
+        let mut cond_clauses: Vec<Datum> = clauses.to_vec();
+        if !clauses.iter().any(|c| c.is_form("else")) {
+            cond_clauses.push(Datum::form(
+                "else",
+                vec![Datum::form("%raise", vec![Datum::Symbol(var.clone())])],
+            ));
+        }
+        let mut handler_parts = vec![Datum::List(vec![Datum::Symbol(var.clone())])];
+        handler_parts.push(Datum::form("cond", cond_clauses));
+        let handler = Datum::form("lambda", handler_parts);
+        let mut thunk_parts = vec![Datum::nil()];
+        thunk_parts.extend(body.iter().cloned());
+        let thunk = Datum::form("lambda", thunk_parts);
+        let desugared = Datum::form("%trap-call", vec![handler, thunk]);
+        self.expand(&desugared, env)
     }
 
     fn expand_lambda(

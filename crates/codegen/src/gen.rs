@@ -271,7 +271,9 @@ fn drop_fallthrough_jumps(insts: Vec<Inst>) -> Vec<Inst> {
         .filter(|(i, _)| !dead[*i])
         .map(|(_, mut inst)| {
             match &mut inst {
-                Inst::Jump { t } | Inst::JumpCmp { t, .. } => *t = new_index[*t as usize],
+                Inst::Jump { t } | Inst::JumpCmp { t, .. } | Inst::PushHandler { t, .. } => {
+                    *t = new_index[*t as usize]
+                }
                 _ => {}
             }
             inst
@@ -418,7 +420,9 @@ impl<'a, 'b> FnGen<'a, 'b> {
             let target = g.labels[label as usize]
                 .ok_or_else(|| CodegenError(format!("unbound label {label}")))?;
             match &mut g.insts[at] {
-                Inst::Jump { t } | Inst::JumpCmp { t, .. } => *t = target,
+                Inst::Jump { t } | Inst::JumpCmp { t, .. } | Inst::PushHandler { t, .. } => {
+                    *t = target
+                }
                 other => return Err(CodegenError(format!("patch of non-branch {other:?}"))),
             }
         }
@@ -983,6 +987,32 @@ impl<'a, 'b> FnGen<'a, 'b> {
             Error => {
                 let s = self.atom_reg(&args[0])?;
                 self.insts.push(Inst::ErrorOp { s });
+                self.bind_unspec_if_used(v)
+            }
+            TrapCall => {
+                // PushHandler / call thunk / PopHandler, with the resume
+                // label bound *after* PopHandler: the trap path pops the
+                // handler entry itself, so the normal and unwound paths
+                // each pop exactly once.  Both the thunk's and the
+                // handler's result land in `d`.
+                let hr = self.atom_reg(&args[0])?;
+                let tr = self.atom_reg(&args[1])?;
+                let d = self.define(v, Kind::Tagged)?;
+                let after = self.new_label();
+                self.patches.push((self.insts.len(), after));
+                self.insts.push(Inst::PushHandler { h: hr, d, t: 0 });
+                self.insts.push(Inst::Call {
+                    d,
+                    f: tr,
+                    args: vec![],
+                });
+                self.insts.push(Inst::PopHandler);
+                self.bind_label(after);
+                Ok(())
+            }
+            Raise => {
+                let s = self.atom_reg(&args[0])?;
+                self.insts.push(Inst::RaiseOp { s });
                 self.bind_unspec_if_used(v)
             }
             CounterReset => {

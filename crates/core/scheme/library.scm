@@ -289,6 +289,34 @@
 (define (<= a b) (fx<= a b))
 (define (>= a b) (fx>= a b))
 
+;; -- conditions and recoverable traps -----------------------------------------
+;; A condition is an ordinary 4-field record of the `condition` rep type
+;; declared in reps.scm: [kind-symbol p1 p2 p3].  The VM's trap path builds
+;; these on delivery; the accessors below read them back with the same
+;; generic rep operations every other data type uses, so they behave
+;; identically under the traditional and abstract pipelines.
+;;
+;; Field meaning by kind:
+;;   out-of-memory   p1 = requested words, p2 = capacity words, p3 = phase
+;;                   symbol ('alloc or 'collect)
+;;   scheme-error / uncaught-condition
+;;                   p1 = the raised/irritant value
+;;   anything else   payload fields are #f
+
+(define (raise c) (%raise c))
+
+;; `(with-exception-handler h thunk)` runs `thunk` with `h` installed; if a
+;; recoverable trap fires inside, `h` receives the condition and its return
+;; value becomes the value of the whole form.  `guard` expands into this.
+(define (with-exception-handler handler thunk) (%trap-call handler thunk))
+
+(define (condition? x) (%rep-inject boolean-rep (%rep-test condition-rep x)))
+(define (condition-kind c) (%rep-ref condition-rep c (%rep-project fixnum-rep 0)))
+(define (condition-irritant c) (%rep-ref condition-rep c (%rep-project fixnum-rep 1)))
+(define (condition-requested c) (%rep-ref condition-rep c (%rep-project fixnum-rep 1)))
+(define (condition-capacity c) (%rep-ref condition-rep c (%rep-project fixnum-rep 2)))
+(define (condition-phase c) (%rep-ref condition-rep c (%rep-project fixnum-rep 3)))
+
 ;; `apply` spreads a list of arguments into a call. Without compiler
 ;; support for dynamic arities this is library code with a documented
 ;; bound of 8 spread arguments (plenty for the classic workloads).

@@ -49,3 +49,12 @@
 ;; The tag user record types share (discriminated by header type id);
 ;; consumed by the define-record-type desugaring.
 (define record-tag 4)
+
+;; Condition objects — the values trap handlers receive — are an ordinary
+;; discriminated record type defined here, not a compiler intrinsic.  The
+;; machine's trap path looks the `condition` role up at delivery time and
+;; builds a 4-field record [kind-symbol p1 p2 p3] with this layout; the
+;; accessors in library.scm read it back with the same generic rep
+;; operations every other data type uses.
+(define condition-rep (%make-pointer-type 'condition 4 #t))  ; = record-tag
+(%provide-rep! 'condition condition-rep)

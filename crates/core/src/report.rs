@@ -3,6 +3,7 @@
 
 use crate::{Compiled, Compiler, FaultPlan, Outcome, PipelineConfig, VmError};
 use std::time::{Duration, Instant};
+use sxr_vm::{StepResult, SuspendReason};
 
 /// The primitive operations whose generated code Table 1 compares.
 pub const TABLE1_PRIMS: &[&str] = &[
@@ -65,6 +66,60 @@ pub fn run_timed(compiled: &Compiled) -> Result<(Duration, Outcome), VmError> {
             counters: m.counters.clone(),
         },
     ))
+}
+
+/// Runs `compiled` on a fresh machine in fuel slices of `slice`
+/// instructions, suspending and resuming until completion.  Returns the
+/// outcome plus the number of fuel-exhaustion suspensions taken.
+///
+/// The suspension machinery is required to be *invisible*: for any slice
+/// size the outcome (final value, output, and every counter) is bitwise
+/// identical to an uninterrupted run.  The resumption batteries in
+/// `tests/` and `chaos_vm --resume` assert exactly that.
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] raised during loading or execution.
+pub fn run_resumable(compiled: &Compiled, slice: u64) -> Result<(Outcome, u64), VmError> {
+    run_resumable_with(compiled, || slice)
+}
+
+/// As [`run_resumable`], but each slice's budget is drawn from
+/// `next_slice` — the differential fuzzer uses this to replay random
+/// suspension schedules from a seed.
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] raised during loading or execution.
+pub fn run_resumable_with(
+    compiled: &Compiled,
+    mut next_slice: impl FnMut() -> u64,
+) -> Result<(Outcome, u64), VmError> {
+    let mut m = compiled.machine()?;
+    m.set_fuel(Some(next_slice().max(1)));
+    let mut suspensions = 0u64;
+    let mut step = m.start()?;
+    loop {
+        match step {
+            StepResult::Done(w) => {
+                return Ok((
+                    Outcome {
+                        value: m.describe(w),
+                        output: m.output().to_string(),
+                        counters: m.counters.clone(),
+                    },
+                    suspensions,
+                ));
+            }
+            StepResult::Suspended(SuspendReason::FuelExhausted) => {
+                suspensions += 1;
+                step = m.resume(next_slice().max(1))?;
+            }
+            StepResult::Suspended(SuspendReason::HostCall) => {
+                step = m.resume(0)?;
+            }
+        }
+    }
 }
 
 /// How one run under a fault plan relates to the fault-free oracle.

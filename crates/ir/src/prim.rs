@@ -68,6 +68,13 @@ pub enum PrimOp {
     /// `%counters-reset!` — zero the VM's dynamic instruction counters
     /// (measurement support; zero arguments).
     CounterReset,
+    /// `%trap-call handler thunk` — call `thunk` with no arguments under a
+    /// trap handler: if a recoverable trap fires during the call, the stack
+    /// unwinds to this point and `handler` is called with the condition.
+    TrapCall,
+    /// `%raise c` — raise `c` as a condition, delivering it to the nearest
+    /// enclosing trap handler (terminal error when none is installed).
+    Raise,
     /// A Traditional-baseline intrinsic (see [`Intrinsic`]).
     Intrinsic(Intrinsic),
     // -- Specialized forms, produced by optimization / intrinsic lowering,
@@ -253,6 +260,8 @@ impl PrimOp {
             "write-char" => WriteChar,
             "error" => Error,
             "counters-reset!" => CounterReset,
+            "trap-call" => TrapCall,
+            "raise" => Raise,
             _ => {
                 let intr = crate::prim::Intrinsic::all()
                     .iter()
@@ -268,10 +277,10 @@ impl PrimOp {
         use PrimOp::*;
         match self {
             CounterReset => 0,
-            Intern | WriteChar | Error => 1,
+            Intern | WriteChar | Error | Raise => 1,
             WordAdd | WordSub | WordMul | WordQuot | WordRem | WordAnd | WordOr | WordXor
             | WordShl | WordShr | WordEq | WordLt | PtrEq | RepInject | RepProject | RepTest
-            | RepLen | ProvideRep => 2,
+            | RepLen | ProvideRep | TrapCall => 2,
             MakePtrType | RepAlloc | RepRef => 3,
             MakeImmType | RepSet => 4,
             SpecHeader(_) => 1,
@@ -362,6 +371,8 @@ impl fmt::Display for PrimOp {
             WriteChar => "write-char",
             Error => "error",
             CounterReset => "counters-reset!",
+            TrapCall => "trap-call",
+            Raise => "raise",
             Intrinsic(i) => i.name(),
             SpecHeader(r) => return write!(f, "%spec-header[{r}]"),
             SpecAlloc(r) => return write!(f, "%spec-alloc[{r}]"),
@@ -384,6 +395,8 @@ mod tests {
             PrimOp::RepInject,
             PrimOp::RepSet,
             PrimOp::Intern,
+            PrimOp::TrapCall,
+            PrimOp::Raise,
             PrimOp::Intrinsic(Intrinsic::Car),
             PrimOp::Intrinsic(Intrinsic::VectorSet),
         ] {
@@ -403,6 +416,8 @@ mod tests {
         assert_eq!(PrimOp::WordAdd.arity(), 2);
         assert_eq!(PrimOp::MakeImmType.arity(), 4);
         assert_eq!(PrimOp::RepSet.arity(), 4);
+        assert_eq!(PrimOp::TrapCall.arity(), 2);
+        assert_eq!(PrimOp::Raise.arity(), 1);
         assert_eq!(PrimOp::Intrinsic(Intrinsic::VectorSet).arity(), 3);
     }
 
@@ -415,6 +430,9 @@ mod tests {
         assert!(PrimOp::RepRef.deletable());
         assert!(!PrimOp::RepSet.deletable());
         assert!(!PrimOp::WriteChar.deletable());
+        assert!(!PrimOp::TrapCall.pure());
+        assert!(!PrimOp::TrapCall.deletable()); // calls arbitrary code
+        assert!(!PrimOp::Raise.deletable()); // control effect
         assert!(PrimOp::Intrinsic(Intrinsic::Car).deletable());
         assert!(!PrimOp::Intrinsic(Intrinsic::SetCar).deletable());
     }

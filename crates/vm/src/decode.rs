@@ -171,6 +171,15 @@ pub(crate) enum DInst {
     ErrorOp {
         s: Reg,
     },
+    PushHandler {
+        h: Reg,
+        d: Reg,
+        t: u32,
+    },
+    PopHandler,
+    RaiseOp {
+        s: Reg,
+    },
     ResetCounters,
 }
 
@@ -204,6 +213,9 @@ impl DInst {
             | DInst::Intern { .. }
             | DInst::WriteChar { .. }
             | DInst::ErrorOp { .. }
+            | DInst::PushHandler { .. }
+            | DInst::PopHandler
+            | DInst::RaiseOp { .. }
             | DInst::ResetCounters => InstClass::Misc,
         }
     }
@@ -392,6 +404,13 @@ pub(crate) fn decode_program(
                 Inst::Intern { d, s } => DInst::Intern { d: *d, s: *s },
                 Inst::WriteChar { s } => DInst::WriteChar { s: *s },
                 Inst::ErrorOp { s } => DInst::ErrorOp { s: *s },
+                Inst::PushHandler { h, d, t } => DInst::PushHandler {
+                    h: *h,
+                    d: *d,
+                    t: *t,
+                },
+                Inst::PopHandler => DInst::PopHandler,
+                Inst::RaiseOp { s } => DInst::RaiseOp { s: *s },
                 Inst::ResetCounters => DInst::ResetCounters,
             };
             insts.push(d);

@@ -46,6 +46,9 @@ pub enum VmErrorKind {
     /// The configured instruction budget was exhausted (used by tests to
     /// bound runaway programs).
     Timeout,
+    /// `(%raise v)` was evaluated with no handler installed; carries the
+    /// description of `v`.
+    UncaughtCondition,
     /// The heap could not satisfy an allocation: `requested` words were
     /// needed but only `capacity` words of (capped) heap exist.  Structured
     /// and recoverable — the machine's state is still a valid heap; no
@@ -80,6 +83,7 @@ impl VmErrorKind {
             VmErrorKind::SchemeError => "scheme-error",
             VmErrorKind::BadProgram => "bad-program",
             VmErrorKind::Timeout => "timeout",
+            VmErrorKind::UncaughtCondition => "uncaught-condition",
             VmErrorKind::OutOfMemory { .. } => "out-of-memory",
         }
     }
@@ -165,6 +169,7 @@ mod tests {
     fn kind_labels_are_stable() {
         assert_eq!(VmErrorKind::Timeout.label(), "timeout");
         assert_eq!(VmErrorKind::BadProgram.label(), "bad-program");
+        assert_eq!(VmErrorKind::UncaughtCondition.label(), "uncaught-condition");
         assert!(!VmErrorKind::SchemeError.is_oom());
     }
 }

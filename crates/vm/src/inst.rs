@@ -140,6 +140,17 @@ pub enum Inst {
     WriteChar { s: Reg },
     /// Raise a runtime error carrying the value in `s`.
     ErrorOp { s: Reg },
+    /// Install a trap handler: if a recoverable trap fires while this
+    /// frame (or any callee) runs, the stack unwinds back here, the closure
+    /// in `h` is called with the condition value, and its result lands in
+    /// `d` with control resuming at instruction index `t`.
+    PushHandler { h: Reg, d: Reg, t: u32 },
+    /// Uninstall the most recent trap handler (normal exit of the
+    /// protected extent).
+    PopHandler,
+    /// Raise the value in `s` as a condition, delivering it to the nearest
+    /// handler (terminal `UncaughtCondition` error when none exists).
+    RaiseOp { s: Reg },
     /// Reset the dynamic instruction counters (measurement support; not
     /// itself counted).
     ResetCounters,
@@ -217,6 +228,9 @@ impl Inst {
             | Inst::Intern { .. }
             | Inst::WriteChar { .. }
             | Inst::ErrorOp { .. }
+            | Inst::PushHandler { .. }
+            | Inst::PopHandler
+            | Inst::RaiseOp { .. }
             | Inst::ResetCounters => InstClass::Misc,
         }
     }
@@ -311,6 +325,12 @@ mod tests {
         );
         assert_eq!(Inst::Jump { t: 0 }.class(), InstClass::Branch);
         assert_eq!(Inst::Ret { s: 0 }.class(), InstClass::Call);
+        assert_eq!(
+            Inst::PushHandler { h: 0, d: 0, t: 0 }.class(),
+            InstClass::Misc
+        );
+        assert_eq!(Inst::PopHandler.class(), InstClass::Misc);
+        assert_eq!(Inst::RaiseOp { s: 0 }.class(), InstClass::Misc);
         assert_eq!(
             Inst::Rep {
                 op: RepVmOp::Ref,

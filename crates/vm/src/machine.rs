@@ -51,6 +51,71 @@ struct Frame {
     ret_dst: Reg,
 }
 
+/// One installed trap handler (a `PushHandler` whose `PopHandler` has not
+/// yet run).  `depth` is `frames.len()` at install time: delivery unwinds
+/// the frame stack back to exactly that depth, so the frame that installed
+/// the handler is on top when the handler is called.
+#[derive(Debug)]
+struct Handler {
+    depth: usize,
+    handler: Word,
+    dst: Reg,
+    t: u32,
+}
+
+/// Carries the guest value behind an in-flight trap between the raising
+/// instruction and delivery (cleared on every delivery attempt).
+#[derive(Debug, Clone, Copy)]
+enum PendingTrap {
+    /// `%raise v`: deliver `v` itself, unwrapped (identity-preserving
+    /// re-raise).
+    Reraise(Word),
+    /// `%error v`: deliver a fresh condition whose payload is `v`.
+    Payload(Word),
+}
+
+/// Why a [`Machine::start`]/[`Machine::resume`] session paused without
+/// finishing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuspendReason {
+    /// The instruction budget reached zero.  No instruction was lost: the
+    /// next [`Machine::resume`] re-fetches the instruction the budget
+    /// refused.
+    FuelExhausted,
+    /// The machine executed a host-visible effect (`%write-char` with
+    /// [`Machine::set_yield_on_output`] enabled) and is handing control to
+    /// the embedder.  The effect has already happened; resuming continues
+    /// at the next instruction.
+    HostCall,
+}
+
+/// What one slice of resumable execution produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// The program ran to completion with this result word.
+    Done(Word),
+    /// Execution paused; all machine state is intact and
+    /// [`Machine::resume`] continues exactly where the slice stopped.
+    Suspended(SuspendReason),
+}
+
+/// The machine's session lifecycle.  `run`/`start` are only valid in
+/// `Ready`, `resume` only in `Running`; everything else is a deterministic
+/// `BadProgram` error rather than unspecified behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Ready,
+    Running,
+    Done,
+    Faulted,
+}
+
+/// Control flow out of one executed instruction.
+enum Exec {
+    Continue,
+    Suspend(SuspendReason),
+}
+
 #[derive(Debug, Clone, Copy)]
 struct RoleCache {
     fixnum: RepId,
@@ -99,6 +164,21 @@ pub struct Machine {
     /// Total object allocations performed since load (never reset; the
     /// ordinal stream `fail_alloc_at` indexes into).
     alloc_seq: u64,
+    /// Installed trap handlers, innermost last.  Handler closures are GC
+    /// roots (traced in [`Machine::collect`]).
+    handlers: Vec<Handler>,
+    /// Extra GC roots for guest words a trap is carrying while the
+    /// condition object is under construction (empty outside delivery).
+    trap_roots: Vec<Word>,
+    /// The guest value behind an in-flight `%raise`/`%error`, if any.
+    pending_trap: Option<PendingTrap>,
+    /// Session lifecycle (pins `run`-after-`Err` to a deterministic error).
+    phase: Phase,
+    /// The result word once the outermost frame returns.
+    result: Word,
+    /// When set, `%write-char` yields [`SuspendReason::HostCall`] after
+    /// appending (resumable sessions only; [`Machine::run`] runs through).
+    host_yield_output: bool,
 }
 
 impl Machine {
@@ -178,6 +258,12 @@ impl Machine {
             chaos_gc,
             jitter,
             alloc_seq: 0,
+            handlers: Vec::new(),
+            trap_roots: Vec::new(),
+            pending_trap: None,
+            phase: Phase::Ready,
+            result: role.unspec_word,
+            host_yield_output: false,
         };
         m.build_pool()?;
         Ok(m)
@@ -364,6 +450,13 @@ impl Machine {
         for w in self.interned.values_mut() {
             *w = self.heap.forward(&mut from, *w, &pt)?;
         }
+        for h in self.handlers.iter_mut() {
+            h.handler = self.heap.forward(&mut from, h.handler, &pt)?;
+        }
+        for w in self.trap_roots.iter_mut() {
+            *w = self.heap.forward(&mut from, *w, &pt)?;
+        }
+        self.result = self.heap.forward(&mut from, self.result, &pt)?;
         // Closures are mixed-representation objects: free slots the code
         // generator proved raw must not be treated as pointers.
         let RepKind::Immediate { shift, .. } = self.registry.info(self.role.fixnum).kind else {
@@ -556,20 +649,127 @@ impl Machine {
         Ok(self.registry.decode_immediate(self.role.fixnum, code) as u32)
     }
 
+    /// A deterministic "wrong lifecycle phase" error for `run`/`start`/
+    /// `resume` calls outside their valid phase.
+    fn phase_error(&self, wanted: &str) -> VmError {
+        let state = match self.phase {
+            Phase::Ready => "has not started",
+            Phase::Running => "is suspended mid-run",
+            Phase::Done => "already ran to completion",
+            Phase::Faulted => "previously stopped with an error",
+        };
+        VmError::new(
+            VmErrorKind::BadProgram,
+            format!("machine {state}; {wanted}"),
+        )
+    }
+
     /// Executes the program to completion.
+    ///
+    /// Valid only on a fresh machine: calling `run` again after it has
+    /// returned — a value *or* an error — is a deterministic
+    /// [`VmErrorKind::BadProgram`] error, never unspecified behaviour.
     ///
     /// # Errors
     ///
-    /// Any [`VmError`] raised during execution.
+    /// Any [`VmError`] raised during execution (with
+    /// [`VmErrorKind::Timeout`] when the configured instruction budget runs
+    /// out).
     pub fn run(&mut self) -> Result<Word, VmError> {
-        let main = self.main_frame()?;
-        self.frames.push(main);
-        let mut result = self.role.unspec_word;
+        self.begin()?;
+        loop {
+            match self.step_loop()? {
+                StepResult::Done(w) => return Ok(w),
+                StepResult::Suspended(SuspendReason::FuelExhausted) => {
+                    self.phase = Phase::Faulted;
+                    return Err(VmError::new(
+                        VmErrorKind::Timeout,
+                        "instruction budget exhausted",
+                    ));
+                }
+                // `run` owns the session: cooperative yield points are
+                // simply run through.
+                StepResult::Suspended(SuspendReason::HostCall) => {}
+            }
+        }
+    }
 
+    /// Begins a resumable session, executing until completion, fuel
+    /// exhaustion, or a host-call yield.  Unlike [`Machine::run`], an empty
+    /// instruction budget is not an error: the machine suspends with all
+    /// state intact and [`Machine::resume`] continues it.
+    ///
+    /// # Errors
+    ///
+    /// Terminal [`VmError`]s only; suspension is an `Ok` outcome.
+    pub fn start(&mut self) -> Result<StepResult, VmError> {
+        self.begin()?;
+        self.step_loop()
+    }
+
+    /// Continues a suspended session, granting `extra_budget` more
+    /// instructions (added to whatever budget remains; a machine with no
+    /// budget limit stays unlimited).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmErrorKind::BadProgram`] unless the machine is suspended
+    /// (i.e. the last `start`/`resume` returned [`StepResult::Suspended`]);
+    /// otherwise any terminal [`VmError`] the continued execution raises.
+    pub fn resume(&mut self, extra_budget: u64) -> Result<StepResult, VmError> {
+        if self.phase != Phase::Running {
+            return Err(self.phase_error("`resume` needs a suspended session"));
+        }
+        if let Some(rem) = self.remaining.as_mut() {
+            *rem = rem.saturating_add(extra_budget);
+        }
+        self.step_loop()
+    }
+
+    /// Remaining instruction budget (`None` = unlimited).
+    pub fn fuel(&self) -> Option<u64> {
+        self.remaining
+    }
+
+    /// Replaces the instruction budget (`None` = unlimited).  Harnesses
+    /// use this to pick a first fuel slice before [`Machine::start`].
+    pub fn set_fuel(&mut self, fuel: Option<u64>) {
+        self.remaining = fuel;
+    }
+
+    /// When enabled, `%write-char` suspends resumable sessions with
+    /// [`SuspendReason::HostCall`] after appending the character
+    /// ([`Machine::run`] is unaffected — it runs through yield points).
+    pub fn set_yield_on_output(&mut self, yield_on_output: bool) {
+        self.host_yield_output = yield_on_output;
+    }
+
+    /// Shared entry: pushes the `main` frame and moves to `Running`.
+    fn begin(&mut self) -> Result<(), VmError> {
+        if self.phase != Phase::Ready {
+            return Err(self.phase_error("build a fresh machine to run again"));
+        }
+        let main = match self.main_frame() {
+            Ok(f) => f,
+            Err(e) => {
+                self.phase = Phase::Faulted;
+                return Err(e);
+            }
+        };
+        self.frames.push(main);
+        self.phase = Phase::Running;
+        Ok(())
+    }
+
+    /// The fetch/decode/execute loop.  Returns `Done` when the outermost
+    /// frame has returned, `Suspended` when the budget ran dry or a host
+    /// call yielded; terminal errors move the machine to `Faulted`.
+    fn step_loop(&mut self) -> Result<StepResult, VmError> {
         loop {
             let (fi, pc) = {
                 let Some(top) = self.frames.last_mut() else {
-                    break;
+                    self.phase = Phase::Done;
+                    return Ok(StepResult::Done(self.result));
                 };
                 let fi = top.fnid as usize;
                 let pc = top.pc;
@@ -579,21 +779,23 @@ impl Machine {
             let inst = match self.decoded.funs[fi].insts.get(pc) {
                 Some(&i) => i,
                 None => {
+                    self.phase = Phase::Faulted;
                     return Err(VmError::new(
                         VmErrorKind::BadProgram,
                         format!("fell off the end of `{}`", self.program.funs[fi].name),
-                    ))
+                    ));
                 }
             };
             // The budget is charged before an instruction does anything —
             // including `ResetCounters` — so a limit of N admits exactly N
             // instructions and the counters never record a timed-out one.
+            // Suspension rewinds the pc: the refused instruction is
+            // re-fetched by the next `resume`, making the slice boundary
+            // invisible to the program.
             if let Some(rem) = self.remaining.as_mut() {
                 if *rem == 0 {
-                    return Err(VmError::new(
-                        VmErrorKind::Timeout,
-                        "instruction budget exhausted",
-                    ));
+                    self.frames.last_mut().expect("frame").pc = pc;
+                    return Ok(StepResult::Suspended(SuspendReason::FuelExhausted));
                 }
                 *rem -= 1;
             }
@@ -602,183 +804,376 @@ impl Machine {
                 continue;
             }
             self.counters.count(inst.class());
-            match inst {
-                DInst::Const { d, imm } => {
-                    self.set_r(d, imm);
+            match self.exec_inst(inst) {
+                Ok(Exec::Continue) => {}
+                Ok(Exec::Suspend(reason)) => {
+                    return Ok(StepResult::Suspended(reason));
                 }
-                DInst::Pool { d, idx } => {
-                    let w = self.pool[idx as usize];
-                    self.set_r(d, w);
-                }
-                DInst::Move { d, s } => {
-                    let w = self.r(s);
-                    self.set_r(d, w);
-                }
-                DInst::Bin { op, d, a, b } => {
-                    let (a, b) = (self.r(a), self.r(b));
-                    let v = self.binop(op, a, b)?;
-                    self.set_r(d, v);
-                }
-                DInst::BinI { op, d, a, imm } => {
-                    let a = self.r(a);
-                    let v = self.binop(op, a, imm)?;
-                    self.set_r(d, v);
-                }
-                DInst::LoadD { d, p, disp } => {
-                    let addr = self.r(p).wrapping_add(disp);
-                    let w = self.heap.get((addr >> 3) as usize)?;
-                    self.set_r(d, w);
-                }
-                DInst::LoadX { d, p, x, disp } => {
-                    let addr = self.r(p).wrapping_add(self.r(x)).wrapping_add(disp);
-                    let w = self.heap.get((addr >> 3) as usize)?;
-                    self.set_r(d, w);
-                }
-                DInst::StoreD { p, disp, s } => {
-                    let addr = self.r(p).wrapping_add(disp);
-                    let w = self.r(s);
-                    self.heap.set((addr >> 3) as usize, w)?;
-                }
-                DInst::StoreX { p, x, disp, s } => {
-                    let addr = self.r(p).wrapping_add(self.r(x)).wrapping_add(disp);
-                    let w = self.r(s);
-                    self.heap.set((addr >> 3) as usize, w)?;
-                }
-                DInst::AllocImm {
-                    d,
-                    len,
-                    fill,
-                    rep,
-                    tag,
-                } => {
-                    let len = len as usize;
-                    self.ensure_space(len + 1)?;
-                    let fill = self.r(fill); // after possible GC
-                    let w = self.alloc_object(len, rep, tag, fill)?;
-                    self.set_r(d, w);
-                }
-                DInst::AllocReg {
-                    d,
-                    len,
-                    fill,
-                    rep,
-                    tag,
-                } => {
-                    let len = self.r(len);
-                    if !(0..=(1 << 40)).contains(&len) {
-                        return Err(VmError::new(
-                            VmErrorKind::BadRepOperation,
-                            format!("allocation of {len} fields"),
-                        ));
-                    }
-                    let len = len as usize;
-                    self.ensure_space(len + 1)?;
-                    let fill = self.r(fill); // after possible GC
-                    let w = self.alloc_object(len, rep, tag, fill)?;
-                    self.set_r(d, w);
-                }
-                DInst::Jump { t } => {
-                    self.frames.last_mut().expect("frame").pc = t as usize;
-                }
-                DInst::JumpCmpRR { op, a, b, t } => {
-                    let (a, b) = (self.r(a), self.r(b));
-                    if cmp_taken(op, a, b) {
-                        self.frames.last_mut().expect("frame").pc = t as usize;
+                Err(e) => {
+                    if let Err(fatal) = self.deliver_trap(e) {
+                        self.phase = Phase::Faulted;
+                        return Err(fatal);
                     }
                 }
-                DInst::JumpCmpRI { op, a, imm, t } => {
-                    let a = self.r(a);
-                    if cmp_taken(op, a, imm) {
-                        self.frames.last_mut().expect("frame").pc = t as usize;
-                    }
-                }
-                DInst::GlobalGet { d, g } => {
-                    let w = self.globals[g as usize];
-                    self.set_r(d, w);
-                }
-                DInst::GlobalSet { g, s } => {
-                    let w = self.r(s);
-                    self.globals[g as usize] = w;
-                }
-                DInst::MakeClosure { d, free, tag, code } => {
-                    let n = free.len as usize;
-                    self.ensure_space(n + 2)?;
-                    let w = self.alloc_object(n + 1, self.role.closure as u16, tag, code)?;
-                    let base = (w >> 3) as usize;
-                    for i in 0..n {
-                        let v = self.r(self.arg(free, i));
-                        self.heap.set(base + 2 + i, v)?;
-                    }
-                    self.set_r(d, w);
-                }
-                DInst::ClosureSet { clo, idx, val } => {
-                    let base = (self.r(clo) >> 3) as usize;
-                    let v = self.r(val);
-                    self.heap.set(base + 2 + idx as usize, v)?;
-                }
-                DInst::Call { d, f, args } => {
-                    let fnid = self.closure_target(self.r(f))?;
-                    self.counters.calls += 1;
-                    let frame = self.build_frame(fnid, f, args, d)?;
-                    self.frames.push(frame);
-                }
-                DInst::CallKnown { d, f, clo, args } => {
-                    self.counters.calls += 1;
-                    let frame = self.build_frame(f, clo, args, d)?;
-                    self.frames.push(frame);
-                }
-                DInst::TailCall { f, args } => {
-                    let fnid = self.closure_target(self.r(f))?;
-                    self.counters.calls += 1;
-                    let ret_dst = self.frames.last().expect("frame").ret_dst;
-                    let frame = self.build_frame(fnid, f, args, ret_dst)?;
-                    let old = std::mem::replace(self.frames.last_mut().expect("frame"), frame);
-                    self.recycle_regs(old.regs);
-                }
-                DInst::TailCallKnown { f, clo, args } => {
-                    self.counters.calls += 1;
-                    let ret_dst = self.frames.last().expect("frame").ret_dst;
-                    let frame = self.build_frame(f, clo, args, ret_dst)?;
-                    let old = std::mem::replace(self.frames.last_mut().expect("frame"), frame);
-                    self.recycle_regs(old.regs);
-                }
-                DInst::Ret { s } => {
-                    let v = self.r(s);
-                    let frame = self.frames.pop().expect("frame");
-                    match self.frames.last_mut() {
-                        Some(caller) => caller.regs[frame.ret_dst as usize] = v,
-                        None => result = v,
-                    }
-                    self.recycle_regs(frame.regs);
-                }
-                DInst::Rep { op, d, args } => {
-                    let v = self.rep_generic(op, args)?;
-                    self.set_r(d, v);
-                }
-                DInst::Intern { d, s } => {
-                    let sval = self.r(s);
-                    let sym = self.intern_value(sval)?;
-                    self.set_r(d, sym);
-                }
-                DInst::WriteChar { s } => {
-                    let w = self.r(s);
-                    let char_rep = self.registry.role(roles::CHAR).ok_or_else(|| {
-                        VmError::new(VmErrorKind::BadProgram, "no `char` representation role")
-                    })?;
-                    let code = self.registry.decode_immediate(char_rep, w) as u32;
-                    self.output.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
-                }
-                DInst::ErrorOp { s } => {
-                    let w = self.r(s);
-                    return Err(VmError::new(
-                        VmErrorKind::SchemeError,
-                        format!("error: {}", self.describe(w)),
-                    ));
-                }
-                DInst::ResetCounters => unreachable!("handled before counting"),
             }
         }
-        Ok(result)
+    }
+
+    /// Executes one (already counted and budgeted) instruction.
+    #[inline]
+    fn exec_inst(&mut self, inst: DInst) -> Result<Exec, VmError> {
+        match inst {
+            DInst::Const { d, imm } => {
+                self.set_r(d, imm);
+            }
+            DInst::Pool { d, idx } => {
+                let w = self.pool[idx as usize];
+                self.set_r(d, w);
+            }
+            DInst::Move { d, s } => {
+                let w = self.r(s);
+                self.set_r(d, w);
+            }
+            DInst::Bin { op, d, a, b } => {
+                let (a, b) = (self.r(a), self.r(b));
+                let v = self.binop(op, a, b)?;
+                self.set_r(d, v);
+            }
+            DInst::BinI { op, d, a, imm } => {
+                let a = self.r(a);
+                let v = self.binop(op, a, imm)?;
+                self.set_r(d, v);
+            }
+            DInst::LoadD { d, p, disp } => {
+                let addr = self.r(p).wrapping_add(disp);
+                let w = self.heap.get((addr >> 3) as usize)?;
+                self.set_r(d, w);
+            }
+            DInst::LoadX { d, p, x, disp } => {
+                let addr = self.r(p).wrapping_add(self.r(x)).wrapping_add(disp);
+                let w = self.heap.get((addr >> 3) as usize)?;
+                self.set_r(d, w);
+            }
+            DInst::StoreD { p, disp, s } => {
+                let addr = self.r(p).wrapping_add(disp);
+                let w = self.r(s);
+                self.heap.set((addr >> 3) as usize, w)?;
+            }
+            DInst::StoreX { p, x, disp, s } => {
+                let addr = self.r(p).wrapping_add(self.r(x)).wrapping_add(disp);
+                let w = self.r(s);
+                self.heap.set((addr >> 3) as usize, w)?;
+            }
+            DInst::AllocImm {
+                d,
+                len,
+                fill,
+                rep,
+                tag,
+            } => {
+                let len = len as usize;
+                self.ensure_space(len + 1)?;
+                let fill = self.r(fill); // after possible GC
+                let w = self.alloc_object(len, rep, tag, fill)?;
+                self.set_r(d, w);
+            }
+            DInst::AllocReg {
+                d,
+                len,
+                fill,
+                rep,
+                tag,
+            } => {
+                let len = self.r(len);
+                if !(0..=(1 << 40)).contains(&len) {
+                    return Err(VmError::new(
+                        VmErrorKind::BadRepOperation,
+                        format!("allocation of {len} fields"),
+                    ));
+                }
+                let len = len as usize;
+                self.ensure_space(len + 1)?;
+                let fill = self.r(fill); // after possible GC
+                let w = self.alloc_object(len, rep, tag, fill)?;
+                self.set_r(d, w);
+            }
+            DInst::Jump { t } => {
+                self.frames.last_mut().expect("frame").pc = t as usize;
+            }
+            DInst::JumpCmpRR { op, a, b, t } => {
+                let (a, b) = (self.r(a), self.r(b));
+                if cmp_taken(op, a, b) {
+                    self.frames.last_mut().expect("frame").pc = t as usize;
+                }
+            }
+            DInst::JumpCmpRI { op, a, imm, t } => {
+                let a = self.r(a);
+                if cmp_taken(op, a, imm) {
+                    self.frames.last_mut().expect("frame").pc = t as usize;
+                }
+            }
+            DInst::GlobalGet { d, g } => {
+                let w = self.globals[g as usize];
+                self.set_r(d, w);
+            }
+            DInst::GlobalSet { g, s } => {
+                let w = self.r(s);
+                self.globals[g as usize] = w;
+            }
+            DInst::MakeClosure { d, free, tag, code } => {
+                let n = free.len as usize;
+                self.ensure_space(n + 2)?;
+                let w = self.alloc_object(n + 1, self.role.closure as u16, tag, code)?;
+                let base = (w >> 3) as usize;
+                for i in 0..n {
+                    let v = self.r(self.arg(free, i));
+                    self.heap.set(base + 2 + i, v)?;
+                }
+                self.set_r(d, w);
+            }
+            DInst::ClosureSet { clo, idx, val } => {
+                let base = (self.r(clo) >> 3) as usize;
+                let v = self.r(val);
+                self.heap.set(base + 2 + idx as usize, v)?;
+            }
+            DInst::Call { d, f, args } => {
+                let fnid = self.closure_target(self.r(f))?;
+                self.counters.calls += 1;
+                let frame = self.build_frame(fnid, f, args, d)?;
+                self.frames.push(frame);
+            }
+            DInst::CallKnown { d, f, clo, args } => {
+                self.counters.calls += 1;
+                let frame = self.build_frame(f, clo, args, d)?;
+                self.frames.push(frame);
+            }
+            DInst::TailCall { f, args } => {
+                let fnid = self.closure_target(self.r(f))?;
+                self.counters.calls += 1;
+                let ret_dst = self.frames.last().expect("frame").ret_dst;
+                let frame = self.build_frame(fnid, f, args, ret_dst)?;
+                let old = std::mem::replace(self.frames.last_mut().expect("frame"), frame);
+                self.recycle_regs(old.regs);
+            }
+            DInst::TailCallKnown { f, clo, args } => {
+                self.counters.calls += 1;
+                let ret_dst = self.frames.last().expect("frame").ret_dst;
+                let frame = self.build_frame(f, clo, args, ret_dst)?;
+                let old = std::mem::replace(self.frames.last_mut().expect("frame"), frame);
+                self.recycle_regs(old.regs);
+            }
+            DInst::Ret { s } => {
+                let v = self.r(s);
+                let frame = self.frames.pop().expect("frame");
+                match self.frames.last_mut() {
+                    Some(caller) => caller.regs[frame.ret_dst as usize] = v,
+                    None => self.result = v,
+                }
+                self.recycle_regs(frame.regs);
+            }
+            DInst::Rep { op, d, args } => {
+                let v = self.rep_generic(op, args)?;
+                self.set_r(d, v);
+            }
+            DInst::Intern { d, s } => {
+                let sval = self.r(s);
+                let sym = self.intern_value(sval)?;
+                self.set_r(d, sym);
+            }
+            DInst::WriteChar { s } => {
+                let w = self.r(s);
+                let char_rep = self.registry.role(roles::CHAR).ok_or_else(|| {
+                    VmError::new(VmErrorKind::BadProgram, "no `char` representation role")
+                })?;
+                let code = self.registry.decode_immediate(char_rep, w) as u32;
+                self.output.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                if self.host_yield_output {
+                    return Ok(Exec::Suspend(SuspendReason::HostCall));
+                }
+            }
+            DInst::ErrorOp { s } => {
+                let w = self.r(s);
+                self.pending_trap = Some(PendingTrap::Payload(w));
+                return Err(VmError::new(
+                    VmErrorKind::SchemeError,
+                    format!("error: {}", self.describe(w)),
+                ));
+            }
+            DInst::PushHandler { h, d, t } => {
+                self.handlers.push(Handler {
+                    depth: self.frames.len(),
+                    handler: self.r(h),
+                    dst: d,
+                    t,
+                });
+            }
+            DInst::PopHandler => {
+                if self.handlers.pop().is_none() {
+                    return Err(VmError::new(
+                        VmErrorKind::BadProgram,
+                        "PopHandler with no handler installed",
+                    ));
+                }
+            }
+            DInst::RaiseOp { s } => {
+                let w = self.r(s);
+                self.pending_trap = Some(PendingTrap::Reraise(w));
+                return Err(VmError::new(
+                    VmErrorKind::UncaughtCondition,
+                    format!("uncaught condition: {}", self.describe(w)),
+                ));
+            }
+            DInst::ResetCounters => unreachable!("handled before counting"),
+        }
+        Ok(Exec::Continue)
+    }
+
+    /// Attempts to deliver a trap to the innermost handler.
+    ///
+    /// Terminal kinds ([`VmErrorKind::BadProgram`],
+    /// [`VmErrorKind::BadMemoryAccess`], [`VmErrorKind::Timeout`]) are
+    /// never handled.  For recoverable kinds the frame stack is unwound to
+    /// the handler's install depth *first* (dropping dead roots), then the
+    /// condition value is built — so its allocation sees the post-unwind
+    /// root set — and the handler closure is called with it.  The handler
+    /// runs with its own entry already popped, so a re-raise propagates
+    /// outward.
+    ///
+    /// `Ok(())` means the handler frame is in place and execution should
+    /// continue; `Err` re-surfaces the (original) terminal error.
+    fn deliver_trap(&mut self, e: VmError) -> Result<(), VmError> {
+        let pending = self.pending_trap.take();
+        if matches!(
+            e.kind,
+            VmErrorKind::BadProgram | VmErrorKind::BadMemoryAccess | VmErrorKind::Timeout
+        ) {
+            return Err(e);
+        }
+        // Innermost handler whose frame is still live (hand-built code can
+        // return past a PushHandler; such stale entries are discarded).
+        let h = loop {
+            match self.handlers.pop() {
+                None => return Err(e),
+                Some(h) if h.depth <= self.frames.len() => break h,
+                Some(_) => continue,
+            }
+        };
+        while self.frames.len() > h.depth {
+            let f = self.frames.pop().expect("frame");
+            self.recycle_regs(f.regs);
+        }
+        let cond = match pending {
+            Some(PendingTrap::Reraise(w)) => w,
+            other => {
+                let payload = match other {
+                    Some(PendingTrap::Payload(w)) => Some(w),
+                    _ => None,
+                };
+                match self.build_condition(&e, payload) {
+                    Ok(c) => c,
+                    // The condition itself would not fit (or the library
+                    // defines no condition representation): the original
+                    // error is terminal after all.
+                    Err(_) => return Err(e),
+                }
+            }
+        };
+        let fnid = self.closure_target(h.handler)?;
+        let fun = &self.decoded.funs[fnid as usize];
+        if fun.variadic || fun.arity != 1 {
+            return Err(self.arity_error(fnid, false, 1));
+        }
+        let nregs = fun.nregs;
+        let mut regs = self.take_regs(nregs);
+        regs[0] = h.handler;
+        regs[1] = cond;
+        self.frames.last_mut().expect("installing frame").pc = h.t as usize;
+        self.counters.calls += 1;
+        self.frames.push(Frame {
+            fnid,
+            pc: 0,
+            regs,
+            ret_dst: h.dst,
+        });
+        Ok(())
+    }
+
+    /// Builds the condition object for `e`: a 4-field record of the
+    /// library's `condition` representation holding
+    /// `[kind-symbol, p1, p2, p3]` — for out-of-memory that is
+    /// `[kind, requested, capacity, phase-symbol]`, for `%error` it is
+    /// `[kind, value, #f, #f]`, otherwise the payload fields are `#f`.
+    ///
+    /// All heap space (fresh symbols included) is reserved up front with
+    /// the quiet path, and `payload` rides in `trap_roots` across that
+    /// reservation, so a collection here cannot lose it.
+    fn build_condition(&mut self, e: &VmError, payload: Option<Word>) -> Result<Word, VmError> {
+        let cond_rep = self.registry.role("condition").ok_or_else(|| {
+            VmError::new(
+                VmErrorKind::BadProgram,
+                "library did not provide a `condition` representation role",
+            )
+        })?;
+        let RepKind::Pointer { tag, .. } = self.registry.info(cond_rep).kind else {
+            return Err(VmError::new(
+                VmErrorKind::BadProgram,
+                "`condition` role must be a pointer representation",
+            ));
+        };
+        let kind_label = e.kind.label();
+        let phase_label = match e.kind {
+            VmErrorKind::OutOfMemory { phase, .. } => Some(match phase {
+                OomPhase::Alloc => "alloc",
+                OomPhase::Collect => "collect",
+            }),
+            _ => None,
+        };
+        let mut need = 5; // the condition record: header + 4 fields
+        if !self.interned.contains_key(kind_label) {
+            need += 3 + kind_label.len();
+        }
+        if let Some(p) = phase_label {
+            if !self.interned.contains_key(p) {
+                need += 3 + p.len();
+            }
+        }
+        let false_word = self.role.false_word;
+        self.trap_roots.push(payload.unwrap_or(false_word));
+        if let Err(oom) = self.ensure_space_quiet(need) {
+            self.trap_roots.pop();
+            return Err(oom);
+        }
+        // No collection can run until `need` words are consumed; every
+        // word below is stable.
+        let payload_w = self.trap_roots.pop().expect("trap root");
+        let ksym = self.intern_loaded(kind_label)?;
+        let (p1, p2, p3) = match e.kind {
+            VmErrorKind::OutOfMemory {
+                requested,
+                capacity,
+                ..
+            } => {
+                let psym = self.intern_loaded(phase_label.expect("oom phase"))?;
+                (
+                    self.registry
+                        .encode_immediate(self.role.fixnum, requested as i64),
+                    self.registry
+                        .encode_immediate(self.role.fixnum, capacity as i64),
+                    psym,
+                )
+            }
+            VmErrorKind::SchemeError | VmErrorKind::UncaughtCondition => {
+                (payload_w, false_word, false_word)
+            }
+            _ => (false_word, false_word, false_word),
+        };
+        let w = self.alloc_object(4, cond_rep as u16, tag, false_word)?;
+        let base = (w >> 3) as usize;
+        self.heap.set(base + 1, ksym)?;
+        self.heap.set(base + 2, p1)?;
+        self.heap.set(base + 3, p2)?;
+        self.heap.set(base + 4, p3)?;
+        Ok(w)
     }
 
     fn binop(&self, op: BinOp, a: Word, b: Word) -> Result<Word, VmError> {

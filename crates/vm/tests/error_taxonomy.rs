@@ -80,6 +80,7 @@ fn every_kind_is_constructible_with_stable_unique_labels() {
         VmErrorKind::SchemeError,
         VmErrorKind::BadProgram,
         VmErrorKind::Timeout,
+        VmErrorKind::UncaughtCondition,
         VmErrorKind::OutOfMemory {
             requested: 16,
             capacity: 8,
@@ -433,4 +434,211 @@ fn identical_plans_give_identical_outcomes() {
         let b = run(plan.clone());
         assert_eq!(a, b, "plan {plan:?} replays identically");
     }
+}
+
+#[test]
+fn raise_without_handler_is_uncaught_condition() {
+    let r = classic_registry();
+    let enc = r.reg.encode_immediate(r.fx, 3);
+    let main = fun(
+        "main",
+        0,
+        2,
+        vec![Inst::Const { d: 1, imm: enc }, Inst::RaiseOp { s: 1 }],
+    );
+    let e = run_expecting_error(r.reg, vec![main], MachineConfig::default());
+    assert_eq!(e.kind, VmErrorKind::UncaughtCondition);
+    assert_eq!(e.kind.label(), "uncaught-condition");
+    assert!(
+        e.to_string().contains('3'),
+        "error describes the raised value"
+    );
+}
+
+/// Registry rich enough for condition delivery: the trap path interns the
+/// kind label as a symbol and allocates a `condition` record, so the
+/// symbol, string, and condition roles must all exist.
+fn delivery_registry() -> Reg {
+    let mut r = classic_registry();
+    let ch = r.reg.intern_immediate("char", 8, 0b0001_0010, 8).unwrap();
+    let st = r.reg.intern_pointer("string", 0b101, false).unwrap();
+    let sy = r.reg.intern_pointer("symbol", 0b110, false).unwrap();
+    let cond = r.reg.intern_pointer("condition", 0b100, true).unwrap();
+    for (role, id) in [
+        ("char", ch),
+        ("string", st),
+        ("symbol", sy),
+        ("condition", cond),
+    ] {
+        r.reg.provide_role(role, id).unwrap();
+    }
+    r
+}
+
+/// Builds `main` = handler installed around `body_insts`; the handler
+/// ignores its condition argument and returns fixnum 7.
+fn guarded(r: &Reg, mut body_insts: Vec<Inst>, nregs: usize) -> Vec<CodeFun> {
+    let enc7 = r.reg.encode_immediate(r.fx, 7);
+    let handler = fun(
+        "handler",
+        1,
+        3,
+        vec![Inst::Const { d: 2, imm: enc7 }, Inst::Ret { s: 2 }],
+    );
+    let resume_at = (2 + body_insts.len() + 1) as u32;
+    let mut insts = vec![
+        Inst::MakeClosure {
+            d: 1,
+            f: 1,
+            free: vec![],
+        },
+        Inst::PushHandler {
+            h: 1,
+            d: 2,
+            t: resume_at,
+        },
+    ];
+    insts.append(&mut body_insts);
+    insts.push(Inst::PopHandler);
+    insts.push(Inst::Ret { s: 2 });
+    vec![fun("main", 0, nregs, insts), handler]
+}
+
+#[test]
+fn recoverable_kinds_are_handler_deliverable() {
+    // Each recoverable fault class, raised under an installed handler,
+    // becomes a normal value (the handler's 7) instead of an `Err`.
+    let enc = |r: &Reg, n: i64| r.reg.encode_immediate(r.fx, n);
+
+    // divide-by-zero
+    let r = delivery_registry();
+    let body = vec![
+        Inst::Const {
+            d: 3,
+            imm: enc(&r, 1),
+        },
+        Inst::Const { d: 4, imm: 0 },
+        Inst::Bin {
+            op: BinOp::Quot,
+            d: 3,
+            a: 3,
+            b: 4,
+        },
+    ];
+    let mut m = Machine::new(
+        program(r.reg.clone(), guarded(&r, body, 5)),
+        MachineConfig::default(),
+    )
+    .unwrap();
+    let w = m.run().expect("handler converts the trap");
+    assert_eq!(m.describe(w), "7");
+
+    // scheme-error (ErrorOp)
+    let r = delivery_registry();
+    let body = vec![
+        Inst::Const {
+            d: 3,
+            imm: enc(&r, 99),
+        },
+        Inst::ErrorOp { s: 3 },
+    ];
+    let mut m = Machine::new(
+        program(r.reg.clone(), guarded(&r, body, 4)),
+        MachineConfig::default(),
+    )
+    .unwrap();
+    let w = m.run().expect("handler converts the trap");
+    assert_eq!(m.describe(w), "7");
+
+    // uncaught-condition (RaiseOp) — delivered identity-preserving
+    let r = delivery_registry();
+    let body = vec![
+        Inst::Const {
+            d: 3,
+            imm: enc(&r, 42),
+        },
+        Inst::RaiseOp { s: 3 },
+    ];
+    let mut m = Machine::new(
+        program(r.reg.clone(), guarded(&r, body, 4)),
+        MachineConfig::default(),
+    )
+    .unwrap();
+    let w = m.run().expect("handler converts the trap");
+    assert_eq!(m.describe(w), "7");
+}
+
+#[test]
+fn terminal_kinds_ignore_installed_handlers() {
+    // Timeout is terminal: a handler cannot absorb budget exhaustion.
+    let r = delivery_registry();
+    let body = vec![Inst::Jump { t: 2 }]; // spin on the jump forever
+    let mut m = Machine::new(
+        program(r.reg.clone(), guarded(&r, body, 4)),
+        MachineConfig {
+            instruction_limit: Some(1000),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(m.run().unwrap_err().kind, VmErrorKind::Timeout);
+
+    // BadMemoryAccess is terminal: a wild load is a machine-integrity
+    // fault, not a Scheme-visible condition.
+    let r = delivery_registry();
+    let body = vec![
+        Inst::Const {
+            d: 3,
+            imm: (1_i64 << 40) | 0b001,
+        },
+        Inst::LoadD {
+            d: 3,
+            p: 3,
+            disp: 8 - 0b001,
+        },
+    ];
+    let mut m = Machine::new(
+        program(r.reg.clone(), guarded(&r, body, 4)),
+        MachineConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(m.run().unwrap_err().kind, VmErrorKind::BadMemoryAccess);
+}
+
+#[test]
+fn delivered_condition_carries_kind_and_payload() {
+    // A handler that returns its argument: the machine's description of a
+    // delivered scheme-error condition exposes the 4-field record.
+    let r = delivery_registry();
+    let enc = r.reg.encode_immediate(r.fx, 99);
+    let handler = fun("handler", 1, 2, vec![Inst::Ret { s: 1 }]);
+    let main = fun(
+        "main",
+        0,
+        4,
+        vec![
+            Inst::MakeClosure {
+                d: 1,
+                f: 1,
+                free: vec![],
+            },
+            Inst::PushHandler { h: 1, d: 2, t: 5 },
+            Inst::Const { d: 3, imm: enc },
+            Inst::ErrorOp { s: 3 },
+            Inst::PopHandler,
+            Inst::Ret { s: 2 },
+        ],
+    );
+    let mut m = Machine::new(
+        program(r.reg.clone(), vec![main, handler]),
+        MachineConfig::default(),
+    )
+    .unwrap();
+    let w = m.run().expect("handler returns the condition");
+    // The condition renders as a discriminated record: field 0 is the
+    // kind symbol, field 1 the payload (the 99).
+    let desc = m.describe(w);
+    assert!(desc.starts_with("#<condition "), "{desc}");
+    assert!(desc.contains("scheme-error"), "{desc}");
+    assert!(desc.contains("99"), "{desc}");
 }

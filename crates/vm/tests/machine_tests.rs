@@ -1258,3 +1258,331 @@ fn heap_grows_transparently() {
     assert_eq!(m.describe(w), "99");
     assert!(m.counters.allocated_objects == 20_000);
 }
+
+// ---------------------------------------------------------------------------
+// Recoverable traps and resumable sessions
+// ---------------------------------------------------------------------------
+
+use sxr_vm::{StepResult, SuspendReason};
+
+/// A classic registry extended with the `condition` role the trap path
+/// needs to deliver conditions (the shipped prelude declares this in
+/// reps.scm; hand-built tests do it here).
+fn registry_with_conditions() -> Reg {
+    let mut r = classic_registry();
+    let cond = r.reg.intern_pointer("condition", 0b100, true).unwrap();
+    r.reg.provide_role("condition", cond).unwrap();
+    r
+}
+
+#[test]
+fn run_after_error_is_deterministic_bad_program() {
+    let r = classic_registry();
+    let enc = |n: i64| r.reg.encode_immediate(r.fx, n);
+    let main = fun(
+        "main",
+        0,
+        3,
+        vec![
+            Inst::Const { d: 1, imm: enc(1) },
+            Inst::Const { d: 2, imm: 0 },
+            Inst::Bin {
+                op: BinOp::Quot,
+                d: 1,
+                a: 1,
+                b: 2,
+            },
+            Inst::Ret { s: 1 },
+        ],
+    );
+    let prog = one_fun_program(r.reg, main, vec![]);
+    let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+    assert_eq!(m.run().unwrap_err().kind, VmErrorKind::DivideByZero);
+    // Running again after `Err` is pinned behaviour: a deterministic
+    // BadProgram-class error, stable across repeated calls.
+    let e1 = m.run().unwrap_err();
+    assert_eq!(e1.kind, VmErrorKind::BadProgram);
+    assert!(
+        e1.message.contains("previously stopped with an error"),
+        "{e1}"
+    );
+    let e2 = m.run().unwrap_err();
+    assert_eq!(e1, e2, "identical on every subsequent call");
+}
+
+#[test]
+fn run_after_completion_is_deterministic_bad_program() {
+    let r = classic_registry();
+    let enc = |n: i64| r.reg.encode_immediate(r.fx, n);
+    let main = fun(
+        "main",
+        0,
+        2,
+        vec![Inst::Const { d: 1, imm: enc(5) }, Inst::Ret { s: 1 }],
+    );
+    let prog = one_fun_program(r.reg, main, vec![]);
+    let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+    let w = m.run().unwrap();
+    assert_eq!(m.describe(w), "5");
+    let err = m.run().unwrap_err();
+    assert_eq!(err.kind, VmErrorKind::BadProgram);
+    assert!(err.message.contains("already ran to completion"), "{err}");
+}
+
+#[test]
+fn resume_without_suspension_is_bad_program() {
+    let r = classic_registry();
+    let main = fun("main", 0, 1, vec![Inst::Ret { s: 0 }]);
+    let prog = one_fun_program(r.reg, main, vec![]);
+    let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+    let err = m.resume(10).unwrap_err();
+    assert_eq!(err.kind, VmErrorKind::BadProgram);
+    assert!(err.message.contains("has not started"), "{err}");
+}
+
+#[test]
+fn sliced_resumption_matches_uninterrupted_run() {
+    let r = classic_registry();
+    let enc = |n: i64| r.reg.encode_immediate(r.fx, n);
+    let insts = vec![
+        Inst::Const { d: 1, imm: enc(6) },
+        Inst::Const { d: 2, imm: enc(7) },
+        Inst::BinI {
+            op: BinOp::Shr,
+            d: 3,
+            a: 1,
+            imm: 3,
+        },
+        Inst::Bin {
+            op: BinOp::Mul,
+            d: 3,
+            a: 3,
+            b: 2,
+        },
+        Inst::Ret { s: 3 },
+    ];
+    // Oracle: uninterrupted run.
+    let prog = one_fun_program(
+        classic_registry().reg,
+        fun("main", 0, 4, insts.clone()),
+        vec![],
+    );
+    let mut oracle = Machine::new(prog, MachineConfig::default()).unwrap();
+    let ow = oracle.run().unwrap();
+
+    // Single-instruction fuel slices: suspension at every boundary must be
+    // invisible — same result word, same counters.
+    let prog = one_fun_program(r.reg, fun("main", 0, 4, insts), vec![]);
+    let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+    m.set_fuel(Some(1));
+    let mut suspensions = 0;
+    let mut step = m.start().unwrap();
+    let w = loop {
+        match step {
+            StepResult::Done(w) => break w,
+            StepResult::Suspended(SuspendReason::FuelExhausted) => {
+                suspensions += 1;
+                step = m.resume(1).unwrap();
+            }
+            StepResult::Suspended(SuspendReason::HostCall) => {
+                step = m.resume(0).unwrap();
+            }
+        }
+    };
+    assert_eq!(w, ow, "identical result word");
+    assert_eq!(m.counters, oracle.counters, "identical counters");
+    assert_eq!(suspensions, 4, "one suspension per refused instruction");
+    assert_eq!(
+        m.fuel(),
+        Some(0),
+        "every slice unit was spent on an instruction"
+    );
+}
+
+#[test]
+fn host_call_yield_on_output() {
+    let r = classic_registry();
+    let ch = r.reg.role("char").unwrap();
+    let enc_c = |c: char| r.reg.encode_immediate(ch, c as i64);
+    let main = fun(
+        "main",
+        0,
+        2,
+        vec![
+            Inst::Const {
+                d: 1,
+                imm: enc_c('h'),
+            },
+            Inst::WriteChar { s: 1 },
+            Inst::Const {
+                d: 1,
+                imm: enc_c('i'),
+            },
+            Inst::WriteChar { s: 1 },
+            Inst::Ret { s: 1 },
+        ],
+    );
+    let prog = one_fun_program(r.reg, main, vec![]);
+    let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+    m.set_yield_on_output(true);
+    // First yield: the character is already in the buffer when the host
+    // regains control (write-then-yield, so output is never lost).
+    let step = m.start().unwrap();
+    assert_eq!(step, StepResult::Suspended(SuspendReason::HostCall));
+    assert_eq!(m.output(), "h");
+    let step = m.resume(0).unwrap();
+    assert_eq!(step, StepResult::Suspended(SuspendReason::HostCall));
+    assert_eq!(m.output(), "hi");
+    let StepResult::Done(_) = m.resume(0).unwrap() else {
+        panic!("program completes after the last yield");
+    };
+    assert_eq!(m.output(), "hi");
+}
+
+#[test]
+fn push_handler_intercepts_recoverable_trap() {
+    let r = registry_with_conditions();
+    let enc = |n: i64| r.reg.encode_immediate(r.fx, n);
+    // handler: arity 1, ignores the condition, returns 7.
+    let handler = fun(
+        "handler",
+        1,
+        3,
+        vec![Inst::Const { d: 2, imm: enc(7) }, Inst::Ret { s: 2 }],
+    );
+    let mut main = fun(
+        "main",
+        0,
+        5,
+        vec![
+            Inst::MakeClosure {
+                d: 1,
+                f: 1,
+                free: vec![],
+            },
+            Inst::PushHandler { h: 1, d: 2, t: 6 },
+            Inst::Const { d: 3, imm: enc(1) },
+            Inst::Const { d: 4, imm: 0 }, // raw 0 divisor
+            Inst::Bin {
+                op: BinOp::Quot,
+                d: 3,
+                a: 3,
+                b: 4,
+            }, // traps: divide by zero
+            Inst::PopHandler,             // skipped by the unwound path
+            Inst::Ret { s: 2 },
+        ],
+    );
+    main.ptr_map[4] = false;
+    let prog = CodeProgram {
+        funs: vec![main, handler],
+        main: 0,
+        pool: vec![],
+        nglobals: 0,
+        global_names: vec![],
+        registry: r.reg,
+    };
+    let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+    let w = m.run().unwrap();
+    assert_eq!(
+        m.describe(w),
+        "7",
+        "handler's return value replaces the trap"
+    );
+    assert_eq!(m.counters.calls, 1, "handler invocation is a counted call");
+}
+
+#[test]
+fn trap_without_condition_role_stays_terminal() {
+    // Without a `condition` role the machine cannot build a condition
+    // object, so delivery fails and the original structured error surfaces
+    // — a registry without the role keeps the pre-trap behaviour exactly.
+    let r = classic_registry();
+    let enc = |n: i64| r.reg.encode_immediate(r.fx, n);
+    let handler = fun(
+        "handler",
+        1,
+        3,
+        vec![Inst::Const { d: 2, imm: enc(7) }, Inst::Ret { s: 2 }],
+    );
+    let mut main = fun(
+        "main",
+        0,
+        5,
+        vec![
+            Inst::MakeClosure {
+                d: 1,
+                f: 1,
+                free: vec![],
+            },
+            Inst::PushHandler { h: 1, d: 2, t: 6 },
+            Inst::Const { d: 3, imm: enc(1) },
+            Inst::Const { d: 4, imm: 0 },
+            Inst::Bin {
+                op: BinOp::Quot,
+                d: 3,
+                a: 3,
+                b: 4,
+            },
+            Inst::PopHandler,
+            Inst::Ret { s: 2 },
+        ],
+    );
+    main.ptr_map[4] = false;
+    let prog = CodeProgram {
+        funs: vec![main, handler],
+        main: 0,
+        pool: vec![],
+        nglobals: 0,
+        global_names: vec![],
+        registry: r.reg,
+    };
+    let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+    assert_eq!(m.run().unwrap_err().kind, VmErrorKind::DivideByZero);
+}
+
+#[test]
+fn terminal_faults_ignore_handlers() {
+    // BadProgram-class faults (here: PopHandler with none installed after
+    // the handler already fired... simplest terminal fault: bad memory
+    // access) must not be deliverable to Scheme handlers.
+    let r = registry_with_conditions();
+    let enc = |n: i64| r.reg.encode_immediate(r.fx, n);
+    let handler = fun(
+        "handler",
+        1,
+        3,
+        vec![Inst::Const { d: 2, imm: enc(7) }, Inst::Ret { s: 2 }],
+    );
+    let main = fun(
+        "main",
+        0,
+        4,
+        vec![
+            Inst::MakeClosure {
+                d: 1,
+                f: 1,
+                free: vec![],
+            },
+            Inst::PushHandler { h: 1, d: 2, t: 5 },
+            Inst::Const { d: 3, imm: enc(1) },
+            Inst::LoadD {
+                d: 3,
+                p: 3,
+                disp: 1 << 20,
+            }, // wild load: BadMemoryAccess
+            Inst::PopHandler,
+            Inst::Ret { s: 2 },
+        ],
+    );
+    let prog = CodeProgram {
+        funs: vec![main, handler],
+        main: 0,
+        pool: vec![],
+        nglobals: 0,
+        global_names: vec![],
+        registry: r.reg,
+    };
+    let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+    assert_eq!(m.run().unwrap_err().kind, VmErrorKind::BadMemoryAccess);
+}

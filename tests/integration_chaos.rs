@@ -12,8 +12,8 @@
 //! the full sweep here.
 
 use std::sync::OnceLock;
-use sxr::report::ChaosOutcome;
-use sxr::FaultPlan;
+use sxr::report::{run_resumable, ChaosOutcome};
+use sxr::{Compiler, FaultPlan, PipelineConfig};
 use sxr_bench::{chaos_targets, run_chaos, ChaosTarget};
 
 const HEAP_WORDS: usize = 1 << 14;
@@ -168,6 +168,164 @@ fn error_class_agrees_across_configurations() {
             "{}: error classes diverged across configs: {labels:?}",
             chunk[0].name
         );
+    }
+}
+
+// -- handled-fault battery ---------------------------------------------------
+//
+// The recoverable-trap extension of the chaos contract: a *Scheme-level*
+// handler installed with `guard` may intercept any recoverable fault
+// (including injected out-of-memory), recover, and run to the oracle
+// answer — identically under every pipeline configuration.
+
+fn three_configs() -> Vec<(&'static str, PipelineConfig)> {
+    vec![
+        ("traditional", PipelineConfig::traditional()),
+        ("abstract-opt", PipelineConfig::abstract_optimized()),
+        ("abstract-noopt", PipelineConfig::abstract_unoptimized()),
+    ]
+}
+
+/// Attempts a vector far larger than the capped heap; on the delivered
+/// out-of-memory condition, retries with a size that fits.  The condition's
+/// payload fields (requested/capacity/phase) are printed too, pinning the
+/// structured delivery format.
+const OOM_RECOVERY_SRC: &str = r#"
+(define (alloc-len n) (vector-length (make-vector n 1)))
+(define (alloc-robust big small)
+  (guard (c ((eq? (condition-kind c) 'out-of-memory)
+             (begin
+               (display (condition-phase c))
+               (write-char #\space)
+               (if (fx< 0 (condition-requested c)) (display 'req+) (display 'req-))
+               (write-char #\space)
+               (alloc-len small))))
+    (alloc-len big)))
+(display (alloc-robust 200000 64))
+"#;
+
+#[test]
+fn guard_catches_injected_oom_and_recovers_in_every_config() {
+    for (name, cfg) in three_configs() {
+        let compiled = Compiler::new(cfg.with_heap_words(1 << 16))
+            .compile(OOM_RECOVERY_SRC)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let out = compiled
+            .run_with_fault(FaultPlan::none().with_heap_cap_words(1 << 13))
+            .unwrap_or_else(|e| panic!("{name}: guard must catch the injected OOM: {e}"));
+        assert_eq!(out.output, "alloc req+ 64", "{name}");
+    }
+}
+
+/// One guarded probe per recoverable fault class, printing the condition
+/// kind each handler received.  `raise` of a non-condition must arrive
+/// identity-preserved (the bare symbol, not a wrapped condition).
+const CAUGHT_KINDS_SRC: &str = r#"
+(define (catch-kind thunk)
+  (guard (c (#t (if (condition? c) (condition-kind c) c)))
+    (thunk)))
+(display (catch-kind (lambda () (fxquotient 1 0))))
+(write-char #\space)
+(display (catch-kind (lambda () (error 'boom))))
+(write-char #\space)
+(display (catch-kind (lambda () ((lambda (g) (g 1)) 5))))
+(write-char #\space)
+(display (catch-kind (lambda () (raise 'custom))))
+(write-char #\space)
+(display (condition-irritant (guard (c (#t c)) (error 'payload))))
+"#;
+
+#[test]
+fn caught_condition_classes_agree_across_configurations() {
+    let mut outputs = Vec::new();
+    for (name, cfg) in three_configs() {
+        let compiled = Compiler::new(cfg)
+            .compile(CAUGHT_KINDS_SRC)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let out = compiled
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: every probe is guarded: {e}"));
+        assert_eq!(
+            out.output, "divide-by-zero scheme-error not-a-procedure custom payload",
+            "{name}"
+        );
+        outputs.push(out.output);
+    }
+    assert!(outputs.windows(2).all(|w| w[0] == w[1]));
+}
+
+/// An unhandled `raise` must still fail structurally (terminal error path
+/// unchanged by the handler machinery).
+#[test]
+fn unhandled_raise_is_a_structured_error_in_every_config() {
+    for (name, cfg) in three_configs() {
+        let compiled = Compiler::new(cfg)
+            .compile("(raise 'loose)")
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let err = compiled.run().expect_err("no handler installed");
+        assert_eq!(err.kind.label(), "uncaught-condition", "{name}: {err}");
+    }
+}
+
+// -- suspend/resume determinism ----------------------------------------------
+
+#[test]
+fn sliced_resumption_is_invisible_for_the_whole_corpus() {
+    // Every corpus benchmark, suspended at arbitrary fuel slices, must
+    // produce a bitwise-identical outcome (value, output, and all
+    // counters) to its uninterrupted run.
+    let slices: &[u64] = if full_sweep() {
+        &[1_000, 7_919, 65_536]
+    } else {
+        &[7_919]
+    };
+    for t in expensive_targets(targets()) {
+        let oracle = &t.oracle;
+        for &slice in slices {
+            let (out, suspensions) = run_resumable(&t.compiled, slice)
+                .unwrap_or_else(|e| panic!("{}/{} slice {slice}: {e}", t.name, t.config));
+            assert_eq!(
+                &out, oracle,
+                "{}/{} slice {slice} ({suspensions} suspensions)",
+                t.name, t.config
+            );
+            assert!(
+                suspensions > 0 || oracle.counters.total <= slice,
+                "{}/{} slice {slice}: expected at least one suspension",
+                t.name,
+                t.config
+            );
+        }
+    }
+}
+
+#[test]
+fn resumption_composes_with_fault_plans() {
+    // Suspension must stay invisible even under a perturbed GC schedule:
+    // the faulted oracle and the faulted sliced run agree exactly.
+    for t in expensive_targets(targets()).into_iter().take(3) {
+        let plan = FaultPlan::none().with_gc_jitter_seed(1234);
+        let oracle = t
+            .compiled
+            .run_with_fault(plan.clone())
+            .expect("timing-only plan");
+        let mut m = t
+            .compiled
+            .machine_with_fault(plan)
+            .expect("machine under plan");
+        m.set_fuel(Some(4_096));
+        let mut step = m.start().expect("start");
+        loop {
+            match step {
+                sxr::StepResult::Done(w) => {
+                    assert_eq!(m.describe(w), oracle.value, "{}/{}", t.name, t.config);
+                    assert_eq!(m.output(), oracle.output, "{}/{}", t.name, t.config);
+                    assert_eq!(m.counters, oracle.counters, "{}/{}", t.name, t.config);
+                    break;
+                }
+                sxr::StepResult::Suspended(_) => step = m.resume(4_096).expect("resume"),
+            }
+        }
     }
 }
 

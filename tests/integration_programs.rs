@@ -153,6 +153,7 @@ const ALT_REPS_SCM: &str = "
 (define pair-rep        (%make-pointer-type 'pair 5 #f))
 (define vector-rep      (%make-pointer-type 'vector 6 #f))
 (define closure-rep     (%make-pointer-type 'closure 7 #f))
+(define condition-rep   (%make-pointer-type 'condition 4 #t))
 (%provide-rep! 'fixnum fixnum-rep)
 (%provide-rep! 'boolean boolean-rep)
 (%provide-rep! 'char char-rep)
@@ -166,6 +167,7 @@ const ALT_REPS_SCM: &str = "
 (%provide-rep! 'string string-rep)
 (%provide-rep! 'symbol symbol-rep)
 (%provide-rep! 'closure closure-rep)
+(%provide-rep! 'condition condition-rep)
 ";
 
 #[test]

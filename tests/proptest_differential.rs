@@ -18,7 +18,14 @@
 //! (pairs, vectors, closures), so forcing a collection at every safe point
 //! shakes out missing-root and stale-pointer bugs that normal GC timing
 //! almost never reaches.
+//!
+//! One rotating configuration per case additionally replays under
+//! fuel-sliced suspend/resume with *random* slice sizes drawn from the same
+//! seeded stream: suspension points land at arbitrary instruction
+//! boundaries, and the resumed outcome (value, output, every counter) must
+//! be bitwise identical to the uninterrupted run.
 
+use sxr::report::run_resumable_with;
 use sxr::{Compiler, FaultPlan, PipelineConfig};
 
 /// Deterministic xorshift64* PRNG — the sequence is fixed per seed, so every
@@ -395,14 +402,21 @@ fn pipelines_agree_on_random_programs() {
         render_int(&e, 0, &mut src);
         src.push(')');
 
+        // Drawn up front so the main generator stream is identical whether
+        // or not the resumption replay below fires for a given config.
+        let slice_seed = rng.next();
+
         let mut results: Vec<(String, String)> = Vec::new();
-        for (label, cfg) in [
+        for (idx, (label, cfg)) in [
             ("Traditional", PipelineConfig::traditional()),
             ("AbstractOpt", PipelineConfig::abstract_optimized()),
             ("AbstractNoOpt", PipelineConfig::abstract_unoptimized()),
             ("Ablate(bits)", PipelineConfig::ablated("bits")),
             ("Ablate(repspec)", PipelineConfig::ablated("repspec")),
-        ] {
+        ]
+        .into_iter()
+        .enumerate()
+        {
             let compiled = Compiler::new(cfg).compile(&src).unwrap_or_else(|err| {
                 panic!(
                     "[{label}] case {case} compile failed: {err}\n{src}\n{}",
@@ -444,6 +458,29 @@ fn pipelines_agree_on_random_programs() {
                 "[{label}] case {case} diverged under gc-every-alloc:\n{src}\n{}",
                 repro(seed, case)
             );
+            // Rotating resumption replay: random fuel slices (1..=4096,
+            // from the replayable seed) must leave the outcome bitwise
+            // identical — suspension is invisible to the guest.
+            if idx == case % 5 {
+                let mut srng = Rng::new(slice_seed);
+                let (sliced, suspensions) =
+                    run_resumable_with(&compiled, move || 1 + (srng.next() % 4096)).unwrap_or_else(
+                        |err| {
+                            panic!(
+                                "[{label}] case {case} failed under sliced resumption: {err}\n\
+                                 {src}\n{}",
+                                repro(seed, case)
+                            )
+                        },
+                    );
+                assert_eq!(
+                    sliced,
+                    out,
+                    "[{label}] case {case} diverged under sliced resumption \
+                     ({suspensions} suspensions):\n{src}\n{}",
+                    repro(seed, case)
+                );
+            }
             results.push((label.to_string(), out.output));
         }
         let first = results[0].1.clone();
