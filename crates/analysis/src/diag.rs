@@ -38,6 +38,10 @@ pub enum DiagClass {
     IndexOutOfBounds,
     /// A `%rep-test` whose outcome is statically known.
     DeadRepTest,
+    /// The load-time bytecode verifier rejected the generated code (the
+    /// message carries the `{fun, pc, rule}` address; see
+    /// `bcverify::Rule`).
+    BytecodeReject,
 }
 
 impl DiagClass {
@@ -56,6 +60,7 @@ impl DiagClass {
             DiagClass::RawMemOnImmediate => "raw-mem-immediate",
             DiagClass::IndexOutOfBounds => "index-bounds",
             DiagClass::DeadRepTest => "dead-rep-test",
+            DiagClass::BytecodeReject => "bytecode-reject",
         }
     }
 }

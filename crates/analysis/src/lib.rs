@@ -14,7 +14,12 @@
 //!    [`verify_module`]) — cheap invariant checks strong enough to run after
 //!    every optimizer pass, so a pass that breaks scoping, arity, tail
 //!    discipline, or registry consistency is caught *at the pass that broke
-//!    it* rather than at the VM.
+//!    it* rather than at the VM;
+//! 3. a **load-time bytecode verifier** ([`verify_program`]) — a JVM-style
+//!    dataflow proof over the final instruction stream.  A clean report
+//!    licenses the VM's unchecked dispatch fast path (install
+//!    [`verifier_hook`] via `MachineConfig::verifier`); a rejection names
+//!    the exact `{fun, pc, rule}` and the machine refuses to start.
 //!
 //! The analyzer is deliberately conservative: unknown values (parameters,
 //! call results, closure slots) are `Top`, and only contradictions that hold
@@ -24,11 +29,13 @@
 #![warn(missing_docs)]
 
 pub mod analyzer;
+pub mod bcverify;
 pub mod diag;
 pub mod lattice;
 pub mod verify;
 
 pub use analyzer::analyze_module;
+pub use bcverify::{verifier_hook, verify_program, Rejection, Rule, VerifyReport};
 pub use diag::{DiagClass, Diagnostic, Severity};
 pub use lattice::{AbsVal, TagSet};
 pub use verify::{verify_expr, verify_module, VerifyError};

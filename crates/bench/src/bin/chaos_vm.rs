@@ -16,25 +16,33 @@
 //! out-of-memory condition, recover, and finish with the expected answer
 //! in every pipeline configuration.
 //!
+//! `--verify` runs the load-time bytecode verifier over the whole corpus
+//! instead: every benchmark under every configuration must verify with
+//! zero rejections (a rejection of compiler-produced code is a codegen
+//! bug, and would force the machine off its unchecked fast path).
+//!
 //! ```text
 //! cargo run --release -p sxr-bench --bin chaos_vm
 //! cargo run --release -p sxr-bench --bin chaos_vm -- --seed 99 --heap-words 65536
 //! cargo run --release -p sxr-bench --bin chaos_vm -- --resume --slice 4096
+//! cargo run --release -p sxr-bench --bin chaos_vm -- --verify
 //! ```
 //!
 //! Flags: `--heap-words N` (initial heap, default 65536), `--seed N`
 //! (extra jitter schedule), `--probe` (print per-target allocation
 //! profiles instead of sweeping), `--resume` (fuel-sliced resumption +
 //! in-guest recovery battery), `--slice N` (resumption fuel slice,
-//! default 4096).
+//! default 4096), `--verify` (bytecode-verify the corpus, no execution).
 
 use std::collections::BTreeMap;
 use sxr::report::{run_resumable, ChaosOutcome};
 use sxr::{Compiler, FaultPlan, PipelineConfig, VmError, VmErrorKind};
-use sxr_bench::{chaos_targets, run_chaos};
+use sxr_bench::{chaos_targets, measured_configs, run_chaos, BENCHMARKS};
 
 fn usage() -> ! {
-    eprintln!("usage: chaos_vm [--heap-words N] [--seed N] [--probe] [--resume] [--slice N]");
+    eprintln!(
+        "usage: chaos_vm [--heap-words N] [--seed N] [--probe] [--resume] [--slice N] [--verify]"
+    );
     std::process::exit(2);
 }
 
@@ -71,6 +79,44 @@ const OOM_RECOVERY_SRC: &str = r#"
     (alloc-len big)))
 (display (alloc-robust 200000 64))
 "#;
+
+/// The `--verify` battery: every corpus program under every measured
+/// configuration must pass the load-time bytecode verifier with zero
+/// rejections.  Returns the number of violations.
+fn verify_battery() -> usize {
+    let mut violations = 0usize;
+    let mut programs = 0usize;
+    let mut funs = 0usize;
+    let mut insts = 0usize;
+    for b in BENCHMARKS {
+        for (label, cfg) in measured_configs() {
+            let report = match Compiler::new(cfg).compile(b.source) {
+                Ok(c) => c.verify_bytecode(),
+                Err(e) => {
+                    violations += 1;
+                    eprintln!("VIOLATION: {}/{label}: compile failed: {e}", b.name);
+                    continue;
+                }
+            };
+            programs += 1;
+            funs += report.funs;
+            insts += report.insts;
+            if !report.is_clean() {
+                violations += 1;
+                eprintln!(
+                    "VIOLATION: {}/{label}: bytecode verifier rejected compiler \
+                     output:\n{report}",
+                    b.name
+                );
+            }
+        }
+    }
+    println!(
+        "chaos_vm --verify: {programs} corpus programs verified \
+         ({funs} functions, {insts} instructions), {violations} rejections"
+    );
+    violations
+}
 
 /// The `--resume` battery.  Returns the number of violations.
 fn resume_battery(heap_words: usize, slice: u64) -> usize {
@@ -142,6 +188,7 @@ fn main() {
     let mut extra_seed: Option<u64> = None;
     let mut probe = false;
     let mut resume = false;
+    let mut verify = false;
     let mut slice: u64 = 4096;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -168,8 +215,17 @@ fn main() {
             }
             "--probe" => probe = true,
             "--resume" => resume = true,
+            "--verify" => verify = true,
             _ => usage(),
         }
+    }
+
+    if verify {
+        let violations = verify_battery();
+        if violations > 0 {
+            std::process::exit(1);
+        }
+        return;
     }
 
     if resume {

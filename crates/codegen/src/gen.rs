@@ -408,7 +408,13 @@ impl<'a, 'b> FnGen<'a, 'b> {
         };
         f.body.use_counts(&mut g.uses);
         let r0 = g.fresh_reg(Kind::Tagged)?;
-        debug_assert_eq!(r0, 0);
+        if r0 != 0 {
+            // The machine stores the callee closure in register 0; any
+            // other assignment would silently shift every frame access.
+            return Err(CodegenError(format!(
+                "closure register allocated as r{r0}, not r0"
+            )));
+        }
         g.regs.insert(f.self_var, 0);
         for p in f.params.iter().chain(f.rest.iter()) {
             let r = g.fresh_reg(Kind::Tagged)?;

@@ -4,6 +4,8 @@
 //! sxr [OPTIONS] <file.scm>       run a program
 //! sxr [OPTIONS] -e '<expr>'      run an expression
 //! sxr lint <file.scm>            rep-safety static analysis (no execution)
+//! sxr lint --bytecode <file.scm> load-time bytecode verification of the
+//!                                generated code (no execution)
 //!
 //! OPTIONS:
 //!   --mode <abstract|traditional|noopt>   pipeline (default: abstract)
@@ -20,7 +22,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: sxr [--mode abstract|traditional|noopt] [--ablate PASS] \
          [--counters] [--dis NAME] [--heap WORDS] [--verify-passes] \
-         (FILE.scm | -e EXPR)\n       sxr lint FILE.scm"
+         (FILE.scm | -e EXPR)\n       sxr lint [--bytecode] FILE.scm"
     );
     std::process::exit(2)
 }
@@ -29,7 +31,15 @@ fn usage() -> ! {
 /// rep-safety analyzer, print `file:line:col:`-prefixed findings.  Exit
 /// status 0 = clean, 1 = error-severity findings (or a compile failure).
 fn run_lint(mut args: impl Iterator<Item = String>) -> ! {
-    let Some(path) = args.next() else { usage() };
+    let Some(mut path) = args.next() else { usage() };
+    let mut bytecode = false;
+    if path == "--bytecode" {
+        bytecode = true;
+        match args.next() {
+            Some(p) => path = p,
+            None => usage(),
+        }
+    }
     if args.next().is_some() {
         usage();
     }
@@ -40,6 +50,18 @@ fn run_lint(mut args: impl Iterator<Item = String>) -> ! {
             std::process::exit(1);
         }
     };
+    if bytecode {
+        match sxr::lint::lint_bytecode(&source) {
+            Ok(report) => {
+                println!("{report}");
+                std::process::exit(if report.is_clean() { 0 } else { 1 });
+            }
+            Err(e) => {
+                eprintln!("sxr: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     match lint_source(&source) {
         Ok(report) => {
             print!("{}", report.render(&path));

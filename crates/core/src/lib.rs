@@ -39,7 +39,7 @@ pub mod report;
 
 pub use config::{PipelineConfig, PrimitiveMode};
 pub use error::CompileError;
-pub use lint::{lint_source, LintDiagnostic, LintReport};
+pub use lint::{lint_bytecode, lint_source, LintDiagnostic, LintReport};
 pub use pipeline::{
     Compiled, Compiler, Outcome, LIBRARY_SCM, PRIMS_ABSTRACT_CHECKED_SCM, PRIMS_ABSTRACT_SCM,
     PRIMS_TRADITIONAL_SCM, REPS_SCM,

@@ -148,16 +148,37 @@ pub fn lint_source(source: &str) -> Result<LintReport, CompileError> {
     diagnostics.retain(|d| {
         d.span.is_some() || !located.contains(&(d.diagnostic.class, d.diagnostic.message.clone()))
     });
-    // Errors first, then by source position, for stable readable output.
-    diagnostics.sort_by_key(|d| {
-        (
-            std::cmp::Reverse(d.severity()),
-            d.span.map_or(0, |s| s.start),
-            d.diagnostic.fun,
-        )
+    // A total, deterministic order: source position (line, col — findings
+    // without a span sort first), then rule code, then message text.  The
+    // output for a given source file is byte-identical across runs and
+    // platforms, which CI log diffing and the golden test below rely on.
+    diagnostics.sort_by(|a, b| {
+        let key = |d: &LintDiagnostic| {
+            (
+                d.span.map_or((0, 0), |s| (s.line, s.col)),
+                d.diagnostic.class.code(),
+                d.diagnostic.message.clone(),
+            )
+        };
+        key(a).cmp(&key(b))
     });
     diagnostics.dedup();
     Ok(LintReport { diagnostics })
+}
+
+/// Compiles `source` under the standard optimized configuration and runs
+/// the load-time bytecode verifier over the generated code (the
+/// `sxr lint --bytecode` mode).  A clean report means the machine will
+/// accept the program and run it on the unchecked fast path.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] if the program does not compile; verifier
+/// rejections are reported in the returned [`sxr_analysis::VerifyReport`],
+/// not as errors.
+pub fn lint_bytecode(source: &str) -> Result<sxr_analysis::VerifyReport, CompileError> {
+    let compiled = Compiler::new(PipelineConfig::abstract_optimized()).compile(source)?;
+    Ok(compiled.verify_bytecode())
 }
 
 #[cfg(test)]
@@ -186,6 +207,29 @@ mod tests {
     fn clean_program_lints_clean() {
         let report = lint_source("(define (add a b) (fx+ a b)) (display (add 1 2))").unwrap();
         assert!(!report.has_errors(), "{}", report.render("t.scm"));
+    }
+
+    #[test]
+    fn report_order_is_pinned() {
+        // Golden test for the deterministic (file, line, col, rule) order:
+        // the rendered report is byte-identical across runs.
+        let src = "(define (bad-car) (car 5))\n(define (bad-ref) (vector-ref 7 0))\n\
+                   (display (bad-car))\n(display (bad-ref))";
+        let report = lint_source(src).unwrap();
+        assert_eq!(
+            report.render("t.scm"),
+            "t.scm:1:1: error[raw-mem-immediate]: `%rep-ref` on an immediate value of \
+             representation `fixnum` — not a heap object (in `bad-car`)\n\
+             t.scm:2:1: error[raw-mem-immediate]: `%rep-ref` on an immediate value of \
+             representation `fixnum` — not a heap object (in `bad-ref`)\n"
+        );
+    }
+
+    #[test]
+    fn bytecode_lint_is_clean_for_compiled_code() {
+        let report = lint_bytecode("(define (add a b) (fx+ a b)) (display (add 1 2))").unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert!(report.funs > 0 && report.insts > 0);
     }
 
     #[test]

@@ -215,11 +215,16 @@ impl Compiled {
     /// Creates a fresh machine loaded with this program, under the fault
     /// plan the pipeline configuration installed (none by default).
     ///
+    /// The load-time bytecode verifier (`sxr-analysis::bcverify`) runs
+    /// before the first instruction: compiled programs it proves safe run
+    /// on the VM's unchecked dispatch fast path, and a rejected program
+    /// never starts ([`sxr_vm::VmErrorKind::RejectedByVerifier`]).
+    ///
     /// # Errors
     ///
-    /// Returns a [`VmError`] if the program's registry is incomplete, or a
-    /// structured out-of-memory error when the plan's heap cap cannot hold
-    /// the constant pool.
+    /// Returns a [`VmError`] if the program's registry is incomplete, the
+    /// verifier rejects the code, or a structured out-of-memory error when
+    /// the plan's heap cap cannot hold the constant pool.
     pub fn machine(&self) -> Result<Machine, VmError> {
         self.machine_with_fault(self.fault.clone())
     }
@@ -238,6 +243,26 @@ impl Compiled {
                 heap_words: self.heap_words,
                 instruction_limit: self.instruction_limit,
                 fault,
+                verifier: Some(sxr_analysis::verifier_hook),
+            },
+        )
+    }
+
+    /// Creates a fresh machine that skips bytecode verification and runs
+    /// on the fully bounds-checked dispatch loop (the benchmark harness
+    /// uses this as the baseline against the verified fast path).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Compiled::machine`].
+    pub fn machine_unverified(&self) -> Result<Machine, VmError> {
+        Machine::new(
+            self.code.clone(),
+            MachineConfig {
+                heap_words: self.heap_words,
+                instruction_limit: self.instruction_limit,
+                fault: self.fault.clone(),
+                verifier: None,
             },
         )
     }
@@ -272,15 +297,41 @@ impl Compiled {
     }
 
     /// Runs the rep-safety static analyzer over the compiled module and
-    /// returns every finding (warnings included).
+    /// returns every finding (warnings included), followed by any
+    /// load-time bytecode verifier rejections of the generated code.
     ///
     /// The analyzer is conservative: it reports only *provable* misuse —
     /// a projection through a representation the value cannot have, a raw
     /// memory operation on a word that is never a tagged pointer, a
     /// constant field index outside a known allocation size, or a
-    /// representation test with a statically-known outcome.
+    /// representation test with a statically-known outcome.  Bytecode
+    /// rejections are always errors: the machine would refuse to load
+    /// this program.
     pub fn analyze(&self) -> Vec<Diagnostic> {
-        sxr_analysis::analyze_module(&self.module, &self.registry, &self.rep_globals)
+        let mut diags =
+            sxr_analysis::analyze_module(&self.module, &self.registry, &self.rep_globals);
+        for r in self.verify_bytecode().rejections {
+            let fun_name = self
+                .code
+                .funs
+                .get(r.fun as usize)
+                .map(|f| f.name.clone())
+                .filter(|n| !n.is_empty());
+            diags.push(Diagnostic {
+                class: sxr_analysis::DiagClass::BytecodeReject,
+                fun: r.fun,
+                fun_name,
+                message: r.to_string(),
+            });
+        }
+        diags
+    }
+
+    /// Runs the load-time bytecode verifier over the generated code and
+    /// returns its full report (clean for every compiler-produced
+    /// program; see `sxr-analysis::bcverify`).
+    pub fn verify_bytecode(&self) -> sxr_analysis::VerifyReport {
+        sxr_analysis::verify_program(&self.code)
     }
 
     /// Error-severity analyzer findings, rendered for display.  Empty for

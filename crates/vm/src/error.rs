@@ -49,6 +49,18 @@ pub enum VmErrorKind {
     /// `(%raise v)` was evaluated with no handler installed; carries the
     /// description of `v`.
     UncaughtCondition,
+    /// The load-time bytecode verifier rejected the program; the machine
+    /// refused to start.  `fun`/`pc` locate the offending instruction and
+    /// `rule` is the stable name of the violated verifier rule (see
+    /// `sxr-analysis::bcverify`).
+    RejectedByVerifier {
+        /// Index of the function containing the violation.
+        fun: u32,
+        /// Instruction offset of the violation within that function.
+        pc: u32,
+        /// Stable rule label, e.g. `"def-before-use"`.
+        rule: &'static str,
+    },
     /// The heap could not satisfy an allocation: `requested` words were
     /// needed but only `capacity` words of (capped) heap exist.  Structured
     /// and recoverable — the machine's state is still a valid heap; no
@@ -84,6 +96,7 @@ impl VmErrorKind {
             VmErrorKind::BadProgram => "bad-program",
             VmErrorKind::Timeout => "timeout",
             VmErrorKind::UncaughtCondition => "uncaught-condition",
+            VmErrorKind::RejectedByVerifier { .. } => "rejected-by-verifier",
             VmErrorKind::OutOfMemory { .. } => "out-of-memory",
         }
     }
@@ -119,6 +132,14 @@ impl VmError {
                 "out of memory during {phase}: {requested} words requested, \
                  {capacity} words of heap"
             ),
+        }
+    }
+
+    /// Creates a structured verifier rejection.
+    pub fn rejected(fun: u32, pc: u32, rule: &'static str, detail: impl Into<String>) -> VmError {
+        VmError {
+            kind: VmErrorKind::RejectedByVerifier { fun, pc, rule },
+            message: format!("fun {fun} pc {pc}: [{rule}] {}", detail.into()),
         }
     }
 
@@ -171,5 +192,21 @@ mod tests {
         assert_eq!(VmErrorKind::BadProgram.label(), "bad-program");
         assert_eq!(VmErrorKind::UncaughtCondition.label(), "uncaught-condition");
         assert!(!VmErrorKind::SchemeError.is_oom());
+    }
+
+    #[test]
+    fn verifier_rejection_is_structured() {
+        let e = VmError::rejected(3, 7, "def-before-use", "register r5 read before any write");
+        assert_eq!(
+            e.kind,
+            VmErrorKind::RejectedByVerifier {
+                fun: 3,
+                pc: 7,
+                rule: "def-before-use"
+            }
+        );
+        assert_eq!(e.kind.label(), "rejected-by-verifier");
+        assert!(e.to_string().contains("fun 3 pc 7"));
+        assert!(e.to_string().contains("[def-before-use]"));
     }
 }

@@ -106,9 +106,12 @@ impl Heap {
     ///
     /// # Panics
     ///
-    /// Debug-panics when space was not ensured beforehand.
+    /// Panics (in all builds) when space was not ensured beforehand: an
+    /// unreserved allocation would otherwise index past the space vector
+    /// with a nondescript slice panic in release builds only, making debug
+    /// and release disagree on a machine invariant.
     pub fn alloc(&mut self, len: usize, type_id: u16, fill: Word) -> usize {
-        debug_assert!(!self.needs_gc(len), "caller must ensure space");
+        assert!(!self.needs_gc(len), "caller must ensure space");
         let idx = self.next;
         self.space[idx] = header(len, type_id);
         for i in 0..len {

@@ -67,4 +67,4 @@ pub use heap::{grow_target, header, header_len, header_type, ClosureScan, Heap, 
 pub use inst::{
     BinOp, CmpOp, CodeFun, CodeProgram, Inst, InstClass, PoolEntry, Reg, RegImm, RepVmOp,
 };
-pub use machine::{Machine, MachineConfig, StepResult, SuspendReason};
+pub use machine::{Machine, MachineConfig, StepResult, SuspendReason, VerifierHook};

@@ -17,6 +17,13 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use sxr_ir::rep::{roles, RepId, RepKind, RepRegistry};
 
+/// A load-time bytecode verifier: inspects the whole program and either
+/// blesses it (`Ok`) or rejects it with a structured
+/// [`VmErrorKind::RejectedByVerifier`] error.  A plain function pointer so
+/// [`MachineConfig`] stays `Copy`-friendly and the VM crate needs no
+/// dependency on the analysis crate that implements the standard verifier.
+pub type VerifierHook = fn(&CodeProgram) -> Result<(), VmError>;
+
 /// Tuning knobs for a [`Machine`].
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
@@ -27,6 +34,13 @@ pub struct MachineConfig {
     pub instruction_limit: Option<u64>,
     /// Deterministic fault-injection schedule (defaults to none).
     pub fault: FaultPlan,
+    /// Load-time bytecode verifier.  When set, [`Machine::new`] runs it
+    /// once: on success the machine executes on the unchecked-access fast
+    /// path (the verifier has proved every register index, jump target,
+    /// and pool/global read in bounds); on failure loading is refused.
+    /// When `None` (the default) the machine stays on the fully checked
+    /// loop, which tolerates arbitrary (decodable) input.
+    pub verifier: Option<VerifierHook>,
 }
 
 impl Default for MachineConfig {
@@ -35,6 +49,7 @@ impl Default for MachineConfig {
             heap_words: 1 << 20,
             instruction_limit: None,
             fault: FaultPlan::default(),
+            verifier: None,
         }
     }
 }
@@ -179,6 +194,9 @@ pub struct Machine {
     /// When set, `%write-char` yields [`SuspendReason::HostCall`] after
     /// appending (resumable sessions only; [`Machine::run`] runs through).
     host_yield_output: bool,
+    /// True when a configured [`VerifierHook`] accepted the program at
+    /// load; gates the unchecked-access fast path.
+    verified: bool,
 }
 
 impl Machine {
@@ -233,6 +251,16 @@ impl Machine {
             reg_init: registry.encode_immediate(fixnum, 0),
         };
         let decoded = decode_program(&program, &registry, closure_tag, fixnum)?;
+        // The verifier sees the loadable program, of which the decoded
+        // stream is a faithful 1:1 translation; a verified program runs on
+        // the unchecked fast path, a rejected one never starts.
+        let verified = match config.verifier {
+            Some(verify) => {
+                verify(&program)?;
+                true
+            }
+            None => false,
+        };
         let ptr_table = registry.pointer_pattern_table();
         let nglobals = program.nglobals;
         let heap_cap = config.fault.effective_cap();
@@ -264,9 +292,16 @@ impl Machine {
             phase: Phase::Ready,
             result: role.unspec_word,
             host_yield_output: false,
+            verified,
         };
         m.build_pool()?;
         Ok(m)
+    }
+
+    /// True when the configured load-time verifier accepted this program
+    /// (the machine is running on the unchecked-access fast path).
+    pub fn is_verified(&self) -> bool {
+        self.verified
     }
 
     fn build_pool(&mut self) -> Result<(), VmError> {
@@ -487,17 +522,57 @@ impl Machine {
         &self.fault
     }
 
-    fn r(&self, reg: Reg) -> Word {
-        self.frames.last().expect("active frame").regs[reg as usize]
+    /// Register read, monomorphized over the fast-path gate.  With
+    /// `V = true` the bounds check is elided: the verifier proved every
+    /// register operand smaller than the function's frame size at load.
+    #[inline(always)]
+    fn r_g<const V: bool>(&self, reg: Reg) -> Word {
+        let f = self.frames.last().expect("active frame");
+        if V {
+            debug_assert!((reg as usize) < f.regs.len(), "verifier missed r{reg}");
+            // SAFETY: the load-time verifier (`bcverify` reg-oob rule)
+            // proved `reg < nregs`, and frames always hold `nregs` words.
+            unsafe { *f.regs.get_unchecked(reg as usize) }
+        } else {
+            f.regs[reg as usize]
+        }
     }
 
-    fn set_r(&mut self, reg: Reg, w: Word) {
-        self.frames.last_mut().expect("active frame").regs[reg as usize] = w;
+    #[inline(always)]
+    fn set_r_g<const V: bool>(&mut self, reg: Reg, w: Word) {
+        let f = self.frames.last_mut().expect("active frame");
+        if V {
+            debug_assert!((reg as usize) < f.regs.len(), "verifier missed r{reg}");
+            // SAFETY: as for `r_g`.
+            unsafe {
+                *f.regs.get_unchecked_mut(reg as usize) = w;
+            }
+        } else {
+            f.regs[reg as usize] = w;
+        }
+    }
+
+    /// The operand at position `i` of an arena span.  Spans are built by
+    /// `decode_program` to index the arena it builds, so they are in
+    /// bounds by construction; the verified path elides the recheck.
+    #[inline(always)]
+    fn arg_g<const V: bool>(&self, span: ArgSpan, i: usize) -> Reg {
+        if V {
+            debug_assert!(span.off as usize + i < self.decoded.args.len());
+            // SAFETY: decode builds every span over operands it appended.
+            unsafe { *self.decoded.args.get_unchecked(span.off as usize + i) }
+        } else {
+            self.decoded.args[span.off as usize + i]
+        }
+    }
+
+    fn r(&self, reg: Reg) -> Word {
+        self.r_g::<false>(reg)
     }
 
     /// The operand at position `i` of an arena span.
     fn arg(&self, span: ArgSpan, i: usize) -> Reg {
-        self.decoded.args[span.off as usize + i]
+        self.arg_g::<false>(span, i)
     }
 
     /// Takes a register array from the pool (or allocates one), fully
@@ -559,7 +634,7 @@ impl Machine {
     /// arguments are collected into a library list; space for the pairs is
     /// reserved before any register is read, so a collection here cannot
     /// leave stale copies behind.
-    fn build_frame(
+    fn build_frame<const V: bool>(
         &mut self,
         fnid: u32,
         clo_reg: Reg,
@@ -574,9 +649,9 @@ impl Machine {
                 return Err(self.arity_error(fnid, false, nargs));
             }
             let mut regs = self.take_regs(nregs);
-            regs[0] = self.r(clo_reg);
+            regs[0] = self.r_g::<V>(clo_reg);
             for i in 0..nargs {
-                regs[1 + i] = self.r(self.arg(arg_span, i));
+                regs[1 + i] = self.r_g::<V>(self.arg_g::<V>(arg_span, i));
             }
             return Ok(Frame {
                 fnid,
@@ -616,13 +691,13 @@ impl Machine {
         // Reserve everything up front; reads below see post-GC registers.
         self.ensure_space(3 * extras + 1)?;
         let mut regs = self.take_regs(nregs);
-        regs[0] = self.r(clo_reg);
+        regs[0] = self.r_g::<V>(clo_reg);
         for i in 0..arity {
-            regs[1 + i] = self.r(self.arg(arg_span, i));
+            regs[1 + i] = self.r_g::<V>(self.arg_g::<V>(arg_span, i));
         }
         let mut rest = self.registry.encode_immediate(null, 0);
         for i in (arity..nargs).rev() {
-            let car = self.r(self.arg(arg_span, i));
+            let car = self.r_g::<V>(self.arg_g::<V>(arg_span, i));
             let p = self.alloc_object(2, pair as u16, pair_tag, rest)?;
             let base = (p >> 3) as usize;
             self.heap.set(base + 1, car)?;
@@ -646,7 +721,20 @@ impl Machine {
         }
         let base = (fval >> 3) as usize;
         let code = self.heap.get(base + 1)?;
-        Ok(self.registry.decode_immediate(self.role.fixnum, code) as u32)
+        let fnid = self.registry.decode_immediate(self.role.fixnum, code) as u32;
+        // The code word lives on the heap, where a sufficiently adversarial
+        // guest (a `%rep-set!` through a representation sharing the closure
+        // tag) can overwrite it; such an object is simply not a callable
+        // procedure, and saying so keeps the error recoverable — important
+        // for the verifier's contract that verified programs never reach
+        // `BadProgram` at run time.
+        if (fnid as usize) >= self.decoded.funs.len() {
+            return Err(VmError::new(
+                VmErrorKind::NotAProcedure,
+                format!("closure code word {fnid} is not a function id"),
+            ));
+        }
+        Ok(fnid)
     }
 
     /// A deterministic "wrong lifecycle phase" error for `run`/`start`/
@@ -761,10 +849,21 @@ impl Machine {
         Ok(())
     }
 
+    /// The fetch/decode/execute loop, dispatched once per session slice to
+    /// the monomorphization matching the verifier token: verified programs
+    /// run with access checks elided, everything else stays fully checked.
+    fn step_loop(&mut self) -> Result<StepResult, VmError> {
+        if self.verified {
+            self.step_loop_g::<true>()
+        } else {
+            self.step_loop_g::<false>()
+        }
+    }
+
     /// The fetch/decode/execute loop.  Returns `Done` when the outermost
     /// frame has returned, `Suspended` when the budget ran dry or a host
     /// call yielded; terminal errors move the machine to `Faulted`.
-    fn step_loop(&mut self) -> Result<StepResult, VmError> {
+    fn step_loop_g<const V: bool>(&mut self) -> Result<StepResult, VmError> {
         loop {
             let (fi, pc) = {
                 let Some(top) = self.frames.last_mut() else {
@@ -776,14 +875,28 @@ impl Machine {
                 top.pc += 1;
                 (fi, pc)
             };
-            let inst = match self.decoded.funs[fi].insts.get(pc) {
-                Some(&i) => i,
-                None => {
-                    self.phase = Phase::Faulted;
-                    return Err(VmError::new(
-                        VmErrorKind::BadProgram,
-                        format!("fell off the end of `{}`", self.program.funs[fi].name),
-                    ));
+            let inst = if V {
+                debug_assert!(
+                    pc < self.decoded.funs[fi].insts.len(),
+                    "verifier missed a pc"
+                );
+                // SAFETY: `fi` comes from a frame, and frames are built
+                // only for function ids the verifier bounds-checked
+                // (fn-oob rule, `closure_target` validation); the verifier
+                // additionally proved every reachable pc in bounds
+                // (fall-off-end and jump-oob rules), so the fetch cannot
+                // miss.
+                unsafe { *self.decoded.funs.get_unchecked(fi).insts.get_unchecked(pc) }
+            } else {
+                match self.decoded.funs[fi].insts.get(pc) {
+                    Some(&i) => i,
+                    None => {
+                        self.phase = Phase::Faulted;
+                        return Err(VmError::new(
+                            VmErrorKind::BadProgram,
+                            format!("fell off the end of `{}`", self.program.funs[fi].name),
+                        ));
+                    }
                 }
             };
             // The budget is charged before an instruction does anything —
@@ -804,7 +917,7 @@ impl Machine {
                 continue;
             }
             self.counters.count(inst.class());
-            match self.exec_inst(inst) {
+            match self.exec_inst::<V>(inst) {
                 Ok(Exec::Continue) => {}
                 Ok(Exec::Suspend(reason)) => {
                     return Ok(StepResult::Suspended(reason));
@@ -819,49 +932,66 @@ impl Machine {
         }
     }
 
-    /// Executes one (already counted and budgeted) instruction.
+    /// Executes one (already counted and budgeted) instruction.  `V` is
+    /// the fast-path gate: with a verified program the register, pool,
+    /// global, and operand-arena accesses skip their bounds checks (each
+    /// proved by a verifier rule); heap accesses stay checked in both
+    /// modes — object-level addresses depend on run-time values the
+    /// verifier does not model.
     #[inline]
-    fn exec_inst(&mut self, inst: DInst) -> Result<Exec, VmError> {
+    fn exec_inst<const V: bool>(&mut self, inst: DInst) -> Result<Exec, VmError> {
         match inst {
             DInst::Const { d, imm } => {
-                self.set_r(d, imm);
+                self.set_r_g::<V>(d, imm);
             }
             DInst::Pool { d, idx } => {
-                let w = self.pool[idx as usize];
-                self.set_r(d, w);
+                let w = if V {
+                    debug_assert!((idx as usize) < self.pool.len());
+                    // SAFETY: pool-oob rule — `idx < pool.len()`.
+                    unsafe { *self.pool.get_unchecked(idx as usize) }
+                } else {
+                    self.pool[idx as usize]
+                };
+                self.set_r_g::<V>(d, w);
             }
             DInst::Move { d, s } => {
-                let w = self.r(s);
-                self.set_r(d, w);
+                let w = self.r_g::<V>(s);
+                self.set_r_g::<V>(d, w);
             }
             DInst::Bin { op, d, a, b } => {
-                let (a, b) = (self.r(a), self.r(b));
+                let (a, b) = (self.r_g::<V>(a), self.r_g::<V>(b));
                 let v = self.binop(op, a, b)?;
-                self.set_r(d, v);
+                self.set_r_g::<V>(d, v);
             }
             DInst::BinI { op, d, a, imm } => {
-                let a = self.r(a);
+                let a = self.r_g::<V>(a);
                 let v = self.binop(op, a, imm)?;
-                self.set_r(d, v);
+                self.set_r_g::<V>(d, v);
             }
             DInst::LoadD { d, p, disp } => {
-                let addr = self.r(p).wrapping_add(disp);
+                let addr = self.r_g::<V>(p).wrapping_add(disp);
                 let w = self.heap.get((addr >> 3) as usize)?;
-                self.set_r(d, w);
+                self.set_r_g::<V>(d, w);
             }
             DInst::LoadX { d, p, x, disp } => {
-                let addr = self.r(p).wrapping_add(self.r(x)).wrapping_add(disp);
+                let addr = self
+                    .r_g::<V>(p)
+                    .wrapping_add(self.r_g::<V>(x))
+                    .wrapping_add(disp);
                 let w = self.heap.get((addr >> 3) as usize)?;
-                self.set_r(d, w);
+                self.set_r_g::<V>(d, w);
             }
             DInst::StoreD { p, disp, s } => {
-                let addr = self.r(p).wrapping_add(disp);
-                let w = self.r(s);
+                let addr = self.r_g::<V>(p).wrapping_add(disp);
+                let w = self.r_g::<V>(s);
                 self.heap.set((addr >> 3) as usize, w)?;
             }
             DInst::StoreX { p, x, disp, s } => {
-                let addr = self.r(p).wrapping_add(self.r(x)).wrapping_add(disp);
-                let w = self.r(s);
+                let addr = self
+                    .r_g::<V>(p)
+                    .wrapping_add(self.r_g::<V>(x))
+                    .wrapping_add(disp);
+                let w = self.r_g::<V>(s);
                 self.heap.set((addr >> 3) as usize, w)?;
             }
             DInst::AllocImm {
@@ -873,9 +1003,9 @@ impl Machine {
             } => {
                 let len = len as usize;
                 self.ensure_space(len + 1)?;
-                let fill = self.r(fill); // after possible GC
+                let fill = self.r_g::<V>(fill); // after possible GC
                 let w = self.alloc_object(len, rep, tag, fill)?;
-                self.set_r(d, w);
+                self.set_r_g::<V>(d, w);
             }
             DInst::AllocReg {
                 d,
@@ -884,7 +1014,7 @@ impl Machine {
                 rep,
                 tag,
             } => {
-                let len = self.r(len);
+                let len = self.r_g::<V>(len);
                 if !(0..=(1 << 40)).contains(&len) {
                     return Err(VmError::new(
                         VmErrorKind::BadRepOperation,
@@ -893,32 +1023,46 @@ impl Machine {
                 }
                 let len = len as usize;
                 self.ensure_space(len + 1)?;
-                let fill = self.r(fill); // after possible GC
+                let fill = self.r_g::<V>(fill); // after possible GC
                 let w = self.alloc_object(len, rep, tag, fill)?;
-                self.set_r(d, w);
+                self.set_r_g::<V>(d, w);
             }
             DInst::Jump { t } => {
                 self.frames.last_mut().expect("frame").pc = t as usize;
             }
             DInst::JumpCmpRR { op, a, b, t } => {
-                let (a, b) = (self.r(a), self.r(b));
+                let (a, b) = (self.r_g::<V>(a), self.r_g::<V>(b));
                 if cmp_taken(op, a, b) {
                     self.frames.last_mut().expect("frame").pc = t as usize;
                 }
             }
             DInst::JumpCmpRI { op, a, imm, t } => {
-                let a = self.r(a);
+                let a = self.r_g::<V>(a);
                 if cmp_taken(op, a, imm) {
                     self.frames.last_mut().expect("frame").pc = t as usize;
                 }
             }
             DInst::GlobalGet { d, g } => {
-                let w = self.globals[g as usize];
-                self.set_r(d, w);
+                let w = if V {
+                    debug_assert!((g as usize) < self.globals.len());
+                    // SAFETY: global-oob rule — `g < nglobals`.
+                    unsafe { *self.globals.get_unchecked(g as usize) }
+                } else {
+                    self.globals[g as usize]
+                };
+                self.set_r_g::<V>(d, w);
             }
             DInst::GlobalSet { g, s } => {
-                let w = self.r(s);
-                self.globals[g as usize] = w;
+                let w = self.r_g::<V>(s);
+                if V {
+                    debug_assert!((g as usize) < self.globals.len());
+                    // SAFETY: global-oob rule — `g < nglobals`.
+                    unsafe {
+                        *self.globals.get_unchecked_mut(g as usize) = w;
+                    }
+                } else {
+                    self.globals[g as usize] = w;
+                }
             }
             DInst::MakeClosure { d, free, tag, code } => {
                 let n = free.len as usize;
@@ -926,44 +1070,44 @@ impl Machine {
                 let w = self.alloc_object(n + 1, self.role.closure as u16, tag, code)?;
                 let base = (w >> 3) as usize;
                 for i in 0..n {
-                    let v = self.r(self.arg(free, i));
+                    let v = self.r_g::<V>(self.arg_g::<V>(free, i));
                     self.heap.set(base + 2 + i, v)?;
                 }
-                self.set_r(d, w);
+                self.set_r_g::<V>(d, w);
             }
             DInst::ClosureSet { clo, idx, val } => {
-                let base = (self.r(clo) >> 3) as usize;
-                let v = self.r(val);
+                let base = (self.r_g::<V>(clo) >> 3) as usize;
+                let v = self.r_g::<V>(val);
                 self.heap.set(base + 2 + idx as usize, v)?;
             }
             DInst::Call { d, f, args } => {
-                let fnid = self.closure_target(self.r(f))?;
+                let fnid = self.closure_target(self.r_g::<V>(f))?;
                 self.counters.calls += 1;
-                let frame = self.build_frame(fnid, f, args, d)?;
+                let frame = self.build_frame::<V>(fnid, f, args, d)?;
                 self.frames.push(frame);
             }
             DInst::CallKnown { d, f, clo, args } => {
                 self.counters.calls += 1;
-                let frame = self.build_frame(f, clo, args, d)?;
+                let frame = self.build_frame::<V>(f, clo, args, d)?;
                 self.frames.push(frame);
             }
             DInst::TailCall { f, args } => {
-                let fnid = self.closure_target(self.r(f))?;
+                let fnid = self.closure_target(self.r_g::<V>(f))?;
                 self.counters.calls += 1;
                 let ret_dst = self.frames.last().expect("frame").ret_dst;
-                let frame = self.build_frame(fnid, f, args, ret_dst)?;
+                let frame = self.build_frame::<V>(fnid, f, args, ret_dst)?;
                 let old = std::mem::replace(self.frames.last_mut().expect("frame"), frame);
                 self.recycle_regs(old.regs);
             }
             DInst::TailCallKnown { f, clo, args } => {
                 self.counters.calls += 1;
                 let ret_dst = self.frames.last().expect("frame").ret_dst;
-                let frame = self.build_frame(f, clo, args, ret_dst)?;
+                let frame = self.build_frame::<V>(f, clo, args, ret_dst)?;
                 let old = std::mem::replace(self.frames.last_mut().expect("frame"), frame);
                 self.recycle_regs(old.regs);
             }
             DInst::Ret { s } => {
-                let v = self.r(s);
+                let v = self.r_g::<V>(s);
                 let frame = self.frames.pop().expect("frame");
                 match self.frames.last_mut() {
                     Some(caller) => caller.regs[frame.ret_dst as usize] = v,
@@ -973,15 +1117,15 @@ impl Machine {
             }
             DInst::Rep { op, d, args } => {
                 let v = self.rep_generic(op, args)?;
-                self.set_r(d, v);
+                self.set_r_g::<V>(d, v);
             }
             DInst::Intern { d, s } => {
-                let sval = self.r(s);
+                let sval = self.r_g::<V>(s);
                 let sym = self.intern_value(sval)?;
-                self.set_r(d, sym);
+                self.set_r_g::<V>(d, sym);
             }
             DInst::WriteChar { s } => {
-                let w = self.r(s);
+                let w = self.r_g::<V>(s);
                 let char_rep = self.registry.role(roles::CHAR).ok_or_else(|| {
                     VmError::new(VmErrorKind::BadProgram, "no `char` representation role")
                 })?;
@@ -992,7 +1136,7 @@ impl Machine {
                 }
             }
             DInst::ErrorOp { s } => {
-                let w = self.r(s);
+                let w = self.r_g::<V>(s);
                 self.pending_trap = Some(PendingTrap::Payload(w));
                 return Err(VmError::new(
                     VmErrorKind::SchemeError,
@@ -1002,7 +1146,7 @@ impl Machine {
             DInst::PushHandler { h, d, t } => {
                 self.handlers.push(Handler {
                     depth: self.frames.len(),
-                    handler: self.r(h),
+                    handler: self.r_g::<V>(h),
                     dst: d,
                     t,
                 });
@@ -1016,7 +1160,7 @@ impl Machine {
                 }
             }
             DInst::RaiseOp { s } => {
-                let w = self.r(s);
+                let w = self.r_g::<V>(s);
                 self.pending_trap = Some(PendingTrap::Reraise(w));
                 return Err(VmError::new(
                     VmErrorKind::UncaughtCondition,
@@ -1045,7 +1189,10 @@ impl Machine {
         let pending = self.pending_trap.take();
         if matches!(
             e.kind,
-            VmErrorKind::BadProgram | VmErrorKind::BadMemoryAccess | VmErrorKind::Timeout
+            VmErrorKind::BadProgram
+                | VmErrorKind::BadMemoryAccess
+                | VmErrorKind::Timeout
+                | VmErrorKind::RejectedByVerifier { .. }
         ) {
             return Err(e);
         }

@@ -365,6 +365,7 @@ fn allocation_load_store_and_gc_survival() {
             heap_words: 4096,
             instruction_limit: None,
             fault: Default::default(),
+            verifier: None,
         },
     )
     .unwrap();
@@ -624,6 +625,7 @@ fn instruction_limit_timeout() {
             heap_words: 1 << 12,
             instruction_limit: Some(10_000),
             fault: Default::default(),
+            verifier: None,
         },
     )
     .unwrap();
@@ -905,6 +907,7 @@ fn timeout_at_exact_budget() {
             heap_words: 1 << 12,
             instruction_limit: Some(3),
             fault: Default::default(),
+            verifier: None,
         },
     )
     .unwrap();
@@ -922,6 +925,7 @@ fn timeout_at_exact_budget() {
             heap_words: 1 << 12,
             instruction_limit: Some(2),
             fault: Default::default(),
+            verifier: None,
         },
     )
     .unwrap();
@@ -947,6 +951,7 @@ fn reset_counters_consumes_budget() {
             heap_words: 1 << 12,
             instruction_limit: Some(3),
             fault: Default::default(),
+            verifier: None,
         },
     )
     .unwrap();
@@ -962,6 +967,7 @@ fn reset_counters_consumes_budget() {
             heap_words: 1 << 12,
             instruction_limit: Some(2),
             fault: Default::default(),
+            verifier: None,
         },
     )
     .unwrap();
@@ -1052,6 +1058,7 @@ fn gc_grow_policy_does_not_thrash_at_high_residency() {
             heap_words: 4096,
             instruction_limit: None,
             fault: Default::default(),
+            verifier: None,
         },
     )
     .unwrap();
@@ -1178,6 +1185,7 @@ fn gc_stress_deep_live_list_survives_churn() {
             heap_words: 2048,
             instruction_limit: None,
             fault: Default::default(),
+            verifier: None,
         },
     )
     .unwrap();
@@ -1251,6 +1259,7 @@ fn heap_grows_transparently() {
             heap_words: 1 << 10,
             instruction_limit: None,
             fault: Default::default(),
+            verifier: None,
         },
     )
     .unwrap();

@@ -330,6 +330,57 @@ fn resumption_composes_with_fault_plans() {
 }
 
 #[test]
+fn verified_corpus_never_degrades_to_program_or_memory_faults() {
+    // The bytecode-verifier soundness oracle.  Part one: every corpus
+    // program verifies cleanly, so the machines the sweeps construct all
+    // run on the unchecked fast path.  Part two: no fault schedule or
+    // fuel slicing can then surface a `bad-program` or `bad-memory-access`
+    // error — those labels are reserved for programs the verifier rejects
+    // at load, and seeing one from verified code means an unchecked step
+    // went somewhere the verifier claimed it never could.
+    let targets = targets();
+    for t in targets {
+        let report = t.compiled.verify_bytecode();
+        assert!(
+            report.is_clean(),
+            "{}/{}: verifier rejected compiler output: {report}",
+            t.name,
+            t.config
+        );
+    }
+    let forbidden = ["bad-program", "bad-memory-access"];
+    let sweep = expensive_targets(targets);
+    for t in &sweep {
+        let plans = [
+            FaultPlan::none().with_gc_every_alloc(),
+            FaultPlan::none().with_gc_jitter_seed(3),
+            FaultPlan::none().with_heap_cap_words(4096),
+            FaultPlan::none().with_fail_alloc_at((t.total_allocs / 2).max(1)),
+        ];
+        for plan in plans {
+            if let ChaosOutcome::Failed(e) = run_chaos(t, plan.clone()) {
+                assert!(
+                    !forbidden.contains(&e.kind.label()),
+                    "{}/{} under {plan:?}: verified program died with `{}`: {e}",
+                    t.name,
+                    t.config,
+                    e.kind.label()
+                );
+            }
+        }
+        if let Err(e) = run_resumable(&t.compiled, 777) {
+            assert!(
+                !forbidden.contains(&e.kind.label()),
+                "{}/{} sliced: verified program died with `{}`: {e}",
+                t.name,
+                t.config,
+                e.kind.label()
+            );
+        }
+    }
+}
+
+#[test]
 fn chaos_runs_are_deterministic() {
     let targets = targets();
     let plans = [

@@ -423,6 +423,17 @@ fn pipelines_agree_on_random_programs() {
                     repro(seed, case)
                 )
             });
+            // Load-time verification oracle: every compiler-produced
+            // program must pass the bytecode verifier — a rejection is a
+            // codegen (or verifier) bug, and would force the machine off
+            // its unchecked fast path.
+            let vreport = compiled.verify_bytecode();
+            assert!(
+                vreport.is_clean(),
+                "[{label}] case {case} bytecode verifier rejected compiler output:\n\
+                 {vreport}\n{src}\n{}",
+                repro(seed, case)
+            );
             if label == "AbstractOpt" {
                 // Every random program also round-trips through the static
                 // analyzer: a provable rep misuse in generated well-typed
